@@ -1,0 +1,42 @@
+// Command expbench regenerates the paper's tables and figures (see
+// DESIGN.md §3 for the experiment index and EXPERIMENTS.md for recorded
+// outcomes).
+//
+// Usage:
+//
+//	expbench              # run everything
+//	expbench -run E4,E6   # run a subset
+//	expbench -list        # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"expdb/internal/bench"
+)
+
+func main() {
+	runIDs := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	var ids []string
+	if *runIDs != "" {
+		for _, id := range strings.Split(*runIDs, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	if err := bench.Run(os.Stdout, ids...); err != nil {
+		fmt.Fprintln(os.Stderr, "expbench:", err)
+		os.Exit(1)
+	}
+}

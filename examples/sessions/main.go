@@ -1,0 +1,77 @@
+// Sessions: automatic HTTP-session and credential management — the
+// intro's "session keys, credentials, tickets" use case. Sessions expire
+// without any DELETE statements; keep-alives extend lifetimes by
+// re-insertion; ON-EXPIRE triggers do the cleanup that application code
+// would otherwise poll for.
+package main
+
+import (
+	"fmt"
+
+	"expdb"
+)
+
+func main() {
+	db := expdb.Open()
+	db.MustExec(`CREATE TABLE sessions (sid INT, uid INT)`)
+	db.MustExec(`CREATE TABLE tokens   (tok INT, sid INT)`)
+
+	// Expiration triggers replace cleanup cron jobs: revoke a session's
+	// tokens the moment the session expires.
+	expired := 0
+	if err := db.OnExpire("sessions", func(table string, row expdb.Row, at expdb.Time) {
+		expired++
+		sid := row.Tuple[0].AsInt()
+		res := db.MustExec(fmt.Sprintf("DELETE FROM tokens WHERE sid = %d", sid))
+		fmt.Printf("t=%-3s session %d expired → %s\n", at, sid, res.Msg)
+	}); err != nil {
+		panic(err)
+	}
+
+	// A login issues a session with a 30-tick TTL and a short-lived token.
+	login := func(sid, uid int64) {
+		if err := db.InsertTTL("sessions", expdb.Ints(sid, uid), 30); err != nil {
+			panic(err)
+		}
+		if err := db.InsertTTL("tokens", expdb.Ints(sid*100, sid), 10); err != nil {
+			panic(err)
+		}
+	}
+	// A keep-alive re-inserts with a fresh TTL: the engine keeps the max,
+	// cancelling the earlier expiration (no stale triggers fire).
+	keepAlive := func(sid, uid int64) {
+		if err := db.InsertTTL("sessions", expdb.Ints(sid, uid), 30); err != nil {
+			panic(err)
+		}
+	}
+
+	login(1, 100)
+	login(2, 200)
+	login(3, 300)
+
+	// A live dashboard: sessions per user — maintained, not polled.
+	db.MustExec(`CREATE MATERIALIZED VIEW active AS
+	             SELECT uid, COUNT(*) FROM sessions GROUP BY uid`)
+
+	for t := expdb.Time(5); t <= 80; t += 5 {
+		if err := db.Advance(t); err != nil {
+			panic(err)
+		}
+		if t == 20 {
+			keepAlive(2, 200) // user 200 is still clicking around
+			fmt.Println("t=20  keep-alive for session 2")
+		}
+		if t == 40 {
+			login(4, 100) // second device for user 100
+			fmt.Println("t=40  new session 4 for user 100")
+		}
+	}
+
+	res := db.MustExec(`SELECT * FROM active`)
+	fmt.Printf("\nactive sessions per user at t=%s:\n%s", db.Now(), res.Rel.Render(db.Now()))
+	fmt.Printf("sessions expired automatically: %d (no DELETE statements issued for them)\n", expired)
+
+	st := db.Engine().Stats()
+	fmt.Printf("engine: inserts=%d expired=%d triggers=%d\n",
+		st.Inserts, st.TuplesExpired, st.TriggersFired)
+}

@@ -1,0 +1,203 @@
+// Package expdb is an in-memory relational database with first-class
+// expiration times, reproducing "Expiration Times for Data Management"
+// (Schmidt, Jensen, Šaltenis — ICDE 2006).
+//
+// Every tuple carries an expiration time after which it silently ceases
+// to be current; queries never see expired data; materialised views stay
+// in synchrony with their base relations by looking only at their own
+// expiration metadata, recomputing (or patching) only when the paper's
+// invalidation analysis says they must. Expiration times surface to users
+// in exactly two places, as the paper prescribes: on insertion (the
+// EXPIRES clause / texp argument) and in ON-EXPIRE triggers.
+//
+// The quickest way in is the SQL surface:
+//
+//	db := expdb.Open()
+//	db.MustExec(`CREATE TABLE pol (uid INT, deg INT)`)
+//	db.MustExec(`INSERT INTO pol VALUES (1, 25) EXPIRES AT 10`)
+//	db.MustExec(`CREATE MATERIALIZED VIEW hist AS
+//	             SELECT deg, COUNT(*) FROM pol GROUP BY deg`)
+//	db.MustExec(`ADVANCE TO 10`)
+//	res := db.MustExec(`SELECT * FROM hist`) // recomputed exactly when needed
+//
+// The algebra package (expdb/algebra) exposes the expression layer for
+// programmatic use, and Engine gives access to triggers, sweeping policy
+// and the catalog.
+package expdb
+
+import (
+	"io"
+
+	"expdb/internal/algebra"
+	"expdb/internal/engine"
+	"expdb/internal/interval"
+	"expdb/internal/relation"
+	"expdb/internal/sql"
+	"expdb/internal/tuple"
+	"expdb/internal/value"
+	"expdb/internal/view"
+	"expdb/internal/xtime"
+)
+
+// Re-exported core types. The library's packages live under internal/;
+// these aliases are the supported public surface.
+type (
+	// Time is an instant of the logical clock; Infinity never arrives.
+	Time = xtime.Time
+	// Value is a typed scalar attribute value.
+	Value = value.Value
+	// Tuple is an ordered list of attribute values.
+	Tuple = tuple.Tuple
+	// Schema describes a relation's columns.
+	Schema = tuple.Schema
+	// Column is one schema attribute.
+	Column = tuple.Column
+	// Relation is a set of tuples with expiration times.
+	Relation = relation.Relation
+	// Row pairs a tuple with its expiration time.
+	Row = relation.Row
+	// View is a materialised expression with independent maintenance.
+	View = view.View
+	// ViewOption configures a view (see the Mode/Recover re-exports).
+	ViewOption = view.Option
+	// Expr is an algebra expression (build them with expdb/algebra).
+	Expr = algebra.Expr
+	// Result is the outcome of executing a SQL statement.
+	Result = sql.Result
+	// Engine is the underlying database engine.
+	Engine = engine.Engine
+	// EngineOption configures Open.
+	EngineOption = engine.Option
+	// TriggerFunc observes tuple expirations.
+	TriggerFunc = engine.TriggerFunc
+	// IntervalSet is a Schrödinger validity set (§3.3–3.4 of the paper).
+	IntervalSet = interval.Set
+)
+
+// Infinity is the expiration time of data that never expires.
+const Infinity = xtime.Infinity
+
+// Value constructors.
+var (
+	// Int makes an integer value.
+	Int = value.Int
+	// Float makes a floating-point value.
+	Float = value.Float
+	// Str makes a string value.
+	Str = value.String_
+	// Bool makes a boolean value.
+	Bool = value.Bool
+	// Null is the NULL value.
+	Null = value.Null
+)
+
+// Ints builds an all-integer tuple.
+var Ints = tuple.Ints
+
+// View options (see package view for semantics).
+var (
+	// WithPatching enables Theorem 3 patch queues on difference views.
+	WithPatching = view.WithPatching
+	// WithPatchBudget bounds the patch queue to k entries (§3.4.2
+	// trade-off between up-front transfer and future recomputation).
+	WithPatchBudget = view.WithPatchBudget
+	// NewIncremental builds a per-operator maintainer for an expression
+	// (§3.1 "act on a per-operator basis"): invalidations recompute only
+	// the invalid operators, not the whole plan.
+	NewIncremental = view.NewIncremental
+	// WithIntervalValidity answers reads using Schrödinger validity
+	// intervals instead of the single expression expiration time.
+	WithIntervalValidity = func() ViewOption { return view.WithMode(view.ModeInterval) }
+	// WithRecoverReject makes invalid reads fail instead of recomputing.
+	WithRecoverReject = func() ViewOption { return view.WithRecovery(view.RecoverReject) }
+	// WithRecoverBackward answers invalid reads from the most recent
+	// valid instant (requires WithIntervalValidity).
+	WithRecoverBackward = func() ViewOption { return view.WithRecovery(view.RecoverBackward) }
+	// WithRecoverForward answers invalid reads as of the next valid
+	// instant (requires WithIntervalValidity).
+	WithRecoverForward = func() ViewOption { return view.WithRecovery(view.RecoverForward) }
+)
+
+// Engine options.
+var (
+	// WithEagerSweep removes tuples and fires triggers at the exact
+	// expiration tick (the default).
+	WithEagerSweep = func() EngineOption { return engine.WithSweep(engine.SweepEager, 0) }
+	// WithLazySweep batches physical removal every period ticks.
+	WithLazySweep = func(period Time) EngineOption { return engine.WithSweep(engine.SweepLazy, period) }
+	// WithTimingWheel drives eager expiration with a hierarchical timing
+	// wheel instead of a heap.
+	WithTimingWheel = func() EngineOption { return engine.WithScheduler(engine.SchedulerWheel) }
+)
+
+// DB bundles an engine with a SQL session — the one-import entry point.
+type DB struct {
+	eng  *engine.Engine
+	sess *sql.Session
+}
+
+// Open creates an empty database at tick 0. Trigger NOTIFY output is
+// discarded; use OpenWithNotify to capture it.
+func Open(opts ...EngineOption) *DB { return OpenWithNotify(nil, opts...) }
+
+// OpenWithNotify is Open with a sink for trigger notifications.
+func OpenWithNotify(notify io.Writer, opts ...EngineOption) *DB {
+	eng := engine.New(opts...)
+	return &DB{eng: eng, sess: sql.NewSession(eng, notify)}
+}
+
+// Exec runs one SQL statement.
+func (db *DB) Exec(q string) (*Result, error) { return db.sess.Exec(q) }
+
+// ExecScript runs a semicolon-separated script, returning the last
+// result.
+func (db *DB) ExecScript(q string) (*Result, error) { return db.sess.ExecScript(q) }
+
+// MustExec is Exec, panicking on error — for examples and tests.
+func (db *DB) MustExec(q string) *Result {
+	res, err := db.sess.Exec(q)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// Plan lowers a SELECT to an algebra expression without evaluating it.
+func (db *DB) Plan(query string) (Expr, error) { return db.sess.PlanQuery(query) }
+
+// Engine exposes the programmatic engine API (tables, triggers, clock,
+// views).
+func (db *DB) Engine() *Engine { return db.eng }
+
+// Now returns the current tick.
+func (db *DB) Now() Time { return db.eng.Now() }
+
+// Advance moves the logical clock forward, firing expirations.
+func (db *DB) Advance(to Time) error { return db.eng.Advance(to) }
+
+// Insert adds a tuple with an absolute expiration time.
+func (db *DB) Insert(table string, t Tuple, texp Time) error {
+	return db.eng.Insert(table, t, texp)
+}
+
+// InsertTTL adds a tuple that lives for ttl ticks from now.
+func (db *DB) InsertTTL(table string, t Tuple, ttl Time) error {
+	return db.eng.InsertTTL(table, t, ttl)
+}
+
+// OnExpire registers an expiration trigger on a table.
+func (db *DB) OnExpire(table string, fn TriggerFunc) error {
+	return db.eng.OnExpire(table, fn)
+}
+
+// CreateView registers and materialises a view over an algebra
+// expression.
+func (db *DB) CreateView(name string, expr Expr, opts ...ViewOption) (*View, error) {
+	return db.eng.CreateView(name, expr, opts...)
+}
+
+// ReadView answers a query against a named view at the current tick.
+func (db *DB) ReadView(name string) (*Relation, error) {
+	rel, _, err := db.eng.ReadView(name)
+	return rel, err
+}

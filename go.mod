@@ -1,0 +1,3 @@
+module expdb
+
+go 1.22

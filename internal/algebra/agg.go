@@ -1,0 +1,603 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"expdb/internal/interval"
+	"expdb/internal/relation"
+	"expdb/internal/tuple"
+	"expdb/internal/value"
+	"expdb/internal/xtime"
+)
+
+// AggKind identifies one of the five standard SQL aggregate functions of
+// the paper's family F (§2.6.1).
+type AggKind uint8
+
+// Aggregate function kinds.
+const (
+	AggMin AggKind = iota
+	AggMax
+	AggSum
+	AggCount
+	AggAvg
+)
+
+// String returns the SQL name of the kind.
+func (k AggKind) String() string {
+	switch k {
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	default:
+		return "avg"
+	}
+}
+
+// AggFunc is an aggregate function applied to one attribute — the paper's
+// subscripted min_i, sum_i, … For AggCount a negative Col means COUNT(*).
+type AggFunc struct {
+	Kind AggKind
+	Col  int // 0-based attribute; ignored (may be -1) for COUNT(*)
+}
+
+// String renders e.g. "sum($2)".
+func (f AggFunc) String() string {
+	if f.Kind == AggCount && f.Col < 0 {
+		return "count(*)"
+	}
+	return fmt.Sprintf("%s($%d)", f.Kind, f.Col+1)
+}
+
+// AggPolicy selects how expiration times of aggregation results are
+// derived (§2.6.1 presents them in increasing order of precision).
+type AggPolicy uint8
+
+const (
+	// PolicyNaive is formula (8): each result tuple carries the minimum
+	// expiration time of its partition — correct but conservative.
+	PolicyNaive AggPolicy = iota
+	// PolicyNeutral ignores the lifetimes of time-sliced neutral subsets
+	// (Table 1) and uses the contributing set of Definition 2; count
+	// strictly follows (8), as the paper notes.
+	PolicyNeutral
+	// PolicyExact computes the change-point functions χ and ν (formula
+	// (9)) by simulating the partition's future: tuples expire exactly
+	// when the aggregate value changes or the partition empties.
+	PolicyExact
+)
+
+// String names the policy.
+func (p AggPolicy) String() string {
+	switch p {
+	case PolicyNaive:
+		return "naive"
+	case PolicyNeutral:
+		return "neutral"
+	default:
+		return "exact"
+	}
+}
+
+// Agg is the non-monotonic aggregation operator aggexp_{j1..jn,f}(R),
+// formula (8) built on Klug's framework: every unexpired input tuple is
+// extended with the aggregate value(s) of the partition it belongs to
+// under the stable partitioning φexp (formula (7)); the usual GROUP BY
+// result is a projection over it (see GroupBy).
+//
+// Supporting several aggregate functions in one node is a conservative
+// extension of the paper's single f: each result tuple carries all
+// aggregate values and the partition's expiration time is the minimum of
+// the per-function times, so with exactly one function the semantics
+// coincide with the paper's.
+//
+// Per-tuple expiration refines the paper's partition-level assignment to
+// min(texp_R(r), T_P), where T_P is the partition time of the chosen
+// policy: the r-part of a result tuple cannot outlive r itself (a
+// recomputation would no longer produce the tuple), while GROUP BY
+// projections still inherit exactly T_P because projection takes the
+// maximum over duplicates (formula (3)) and the longest-lived tuple of a
+// partition has texp_R(r) ≥ T_P.
+type Agg struct {
+	GroupCols []int // 0-based grouping attributes j1..jn (may be empty: one global partition)
+	Funcs     []AggFunc
+	Policy    AggPolicy
+	Child     Expr
+}
+
+// NewAgg builds an aggregation node.
+func NewAgg(groupCols []int, funcs []AggFunc, policy AggPolicy, child Expr) (*Agg, error) {
+	arity := child.Schema().Arity()
+	for _, c := range groupCols {
+		if c < 0 || c >= arity {
+			return nil, fmt.Errorf("algebra: group column %d out of range for %s", c+1, child.Schema())
+		}
+	}
+	if len(funcs) == 0 {
+		return nil, fmt.Errorf("algebra: aggregation needs at least one aggregate function")
+	}
+	for _, f := range funcs {
+		if f.Kind == AggCount && f.Col < 0 {
+			continue
+		}
+		if f.Col < 0 || f.Col >= arity {
+			return nil, fmt.Errorf("algebra: aggregate %s out of range for %s", f, child.Schema())
+		}
+	}
+	return &Agg{GroupCols: groupCols, Funcs: funcs, Policy: policy, Child: child}, nil
+}
+
+// GroupBy builds the common SQL shape π_{groupCols, aggregates}(agg(...)):
+// one row per partition, carrying the group columns and the aggregate
+// values, with expiration time exactly the partition time T_P.
+func GroupBy(groupCols []int, funcs []AggFunc, policy AggPolicy, child Expr) (Expr, error) {
+	a, err := NewAgg(groupCols, funcs, policy, child)
+	if err != nil {
+		return nil, err
+	}
+	arity := child.Schema().Arity()
+	cols := make([]int, 0, len(groupCols)+len(funcs))
+	cols = append(cols, groupCols...)
+	for i := range funcs {
+		cols = append(cols, arity+i)
+	}
+	return NewProject(cols, a)
+}
+
+// Schema implements Expr: the child schema extended with one column per
+// aggregate function.
+func (a *Agg) Schema() tuple.Schema {
+	child := a.Child.Schema()
+	cols := make([]tuple.Column, 0, child.Arity()+len(a.Funcs))
+	cols = append(cols, child.Cols...)
+	for _, f := range a.Funcs {
+		cols = append(cols, tuple.Column{Name: a.funcColName(f), Kind: a.funcKind(f)})
+	}
+	return tuple.Schema{Cols: cols}
+}
+
+func (a *Agg) funcColName(f AggFunc) string {
+	if f.Kind == AggCount && f.Col < 0 {
+		return "count"
+	}
+	return f.Kind.String() + "_" + a.Child.Schema().Cols[f.Col].Name
+}
+
+func (a *Agg) funcKind(f AggFunc) value.Kind {
+	switch f.Kind {
+	case AggCount:
+		return value.KindInt
+	case AggAvg:
+		return value.KindFloat
+	default:
+		return a.Child.Schema().Cols[f.Col].Kind
+	}
+}
+
+// Monotonic implements Expr: aggregation is non-monotonic.
+func (a *Agg) Monotonic() bool { return false }
+
+// partition is φexp_{j1..jn}(R, r) for one equivalence class: the rows of
+// the input that share the group key (formula (7)).
+type partition struct {
+	key  string
+	rows []relation.Row
+}
+
+func (a *Agg) partitions(tau xtime.Time) ([]*partition, error) {
+	in, err := a.Child.Eval(tau)
+	if err != nil {
+		return nil, err
+	}
+	byKey := map[string]*partition{}
+	var order []*partition
+	in.AliveAt(tau, func(row relation.Row) {
+		k := row.Tuple.Project(a.GroupCols).Key()
+		p := byKey[k]
+		if p == nil {
+			p = &partition{key: k}
+			byKey[k] = p
+			order = append(order, p)
+		}
+		p.rows = append(p.rows, row)
+	})
+	return order, nil
+}
+
+// apply computes f over the rows alive strictly after tau′ (pass tau′ = -1
+// to use all rows). The boolean reports whether any row remains.
+func applyFunc(f AggFunc, rows []relation.Row, after xtime.Time) (value.Value, bool) {
+	any := false
+	var (
+		count   int64
+		sumI    int64
+		sumF    float64
+		isFloat bool
+		nNum    int64
+		best    value.Value
+		haveB   bool
+	)
+	for _, r := range rows {
+		if r.Texp <= after {
+			continue
+		}
+		any = true
+		var v value.Value
+		if f.Col >= 0 {
+			v = r.Tuple[f.Col]
+		}
+		switch f.Kind {
+		case AggCount:
+			if f.Col < 0 || !v.IsNull() {
+				count++
+			}
+		case AggSum, AggAvg:
+			if v.IsNull() {
+				continue
+			}
+			nNum++
+			if v.Kind() == value.KindFloat {
+				isFloat = true
+			}
+			sumI += v.AsInt()
+			sumF += v.AsFloat()
+		case AggMin:
+			if v.IsNull() {
+				continue
+			}
+			if !haveB || v.Compare(best) < 0 {
+				best, haveB = v, true
+			}
+		case AggMax:
+			if v.IsNull() {
+				continue
+			}
+			if !haveB || v.Compare(best) > 0 {
+				best, haveB = v, true
+			}
+		}
+	}
+	if !any {
+		return value.Null, false
+	}
+	switch f.Kind {
+	case AggCount:
+		return value.Int(count), true
+	case AggSum:
+		if nNum == 0 {
+			return value.Null, true
+		}
+		if isFloat {
+			return value.Float(sumF), true
+		}
+		return value.Int(sumI), true
+	case AggAvg:
+		if nNum == 0 {
+			return value.Null, true
+		}
+		return value.Float(sumF / float64(nNum)), true
+	default:
+		if !haveB {
+			return value.Null, true
+		}
+		return best, true
+	}
+}
+
+// Eval implements Expr, formula (8) with the selected expiration policy.
+func (a *Agg) Eval(tau xtime.Time) (*relation.Relation, error) {
+	parts, err := a.partitions(tau)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(a.Schema())
+	for _, p := range parts {
+		vals := make([]value.Value, len(a.Funcs))
+		for i, f := range a.Funcs {
+			vals[i], _ = applyFunc(f, p.rows, tau)
+		}
+		pt := a.partitionTime(p, tau)
+		for _, row := range p.rows {
+			t := make(tuple.Tuple, 0, len(row.Tuple)+len(vals))
+			t = append(t, row.Tuple...)
+			t = append(t, vals...)
+			out.Insert(t, xtime.Min(row.Texp, pt.time))
+		}
+	}
+	return out, nil
+}
+
+// partitionEvent describes the fate of one partition under a policy: the
+// partition time T_P and whether reaching it invalidates the whole
+// materialised expression (true when the partition outlives the event, so
+// a recomputation would show tuples the materialisation lost — the first
+// case of the paper's χ analysis; false when the partition simply empties,
+// the second case).
+type partitionEvent struct {
+	time        xtime.Time
+	invalidates bool
+}
+
+func (a *Agg) partitionTime(p *partition, tau xtime.Time) partitionEvent {
+	ev := partitionEvent{time: xtime.Infinity}
+	for _, f := range a.Funcs {
+		var ft xtime.Time
+		switch a.Policy {
+		case PolicyNaive:
+			ft = naiveTime(p)
+		case PolicyNeutral:
+			ft = neutralTime(f, p)
+		default:
+			ft = exactTime(f, p, tau)
+		}
+		ev.time = xtime.Min(ev.time, ft)
+	}
+	// The event invalidates the expression iff some tuple of the
+	// partition is still alive at the event time.
+	for _, r := range p.rows {
+		if r.Texp > ev.time {
+			ev.invalidates = true
+			break
+		}
+	}
+	return ev
+}
+
+// naiveTime is formula (8): the minimum expiration time in the partition.
+func naiveTime(p *partition) xtime.Time {
+	t := xtime.Infinity
+	for _, r := range p.rows {
+		t = xtime.Min(t, r.Texp)
+	}
+	return t
+}
+
+// slice is a time-sliced set: the tuples of a partition sharing one
+// expiration time (§2.6.1).
+type slice struct {
+	texp xtime.Time
+	rows []relation.Row
+}
+
+func timeSlices(p *partition) []slice {
+	byT := map[xtime.Time][]relation.Row{}
+	for _, r := range p.rows {
+		byT[r.Texp] = append(byT[r.Texp], r)
+	}
+	out := make([]slice, 0, len(byT))
+	for t, rows := range byT {
+		out = append(out, slice{texp: t, rows: rows})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].texp < out[j].texp })
+	return out
+}
+
+// neutralTime implements Table 1 + Definition 2: the partition time is the
+// minimum expiration among the contributing set C = P − ∪(time-sliced
+// neutral subsets), or the maximum expiration of P when C is empty (the
+// aggregate value stays valid until the whole partition expires).
+func neutralTime(f AggFunc, p *partition) xtime.Time {
+	if f.Kind == AggCount {
+		// count strictly follows (8): only the empty set is neutral.
+		return naiveTime(p)
+	}
+	slices := timeSlices(p)
+	minC := xtime.Infinity
+	maxP := xtime.Time(0)
+	haveC := false
+	for _, s := range slices {
+		maxP = xtime.Max(maxP, s.texp)
+		if !sliceNeutral(f, s, p) {
+			haveC = true
+			minC = xtime.Min(minC, s.texp)
+		}
+	}
+	if !haveC {
+		return maxP
+	}
+	return minC
+}
+
+// sliceNeutral checks the per-function conditions of Table 1 for a
+// time-sliced subset N of partition P.
+func sliceNeutral(f AggFunc, n slice, p *partition) bool {
+	switch f.Kind {
+	case AggSum:
+		// Σ_{t∈N} t(i) = 0.
+		var sum float64
+		for _, r := range n.rows {
+			v := r.Tuple[f.Col]
+			if v.IsNull() {
+				continue
+			}
+			sum += v.AsFloat()
+		}
+		return sum == 0
+	case AggAvg:
+		// Σ_{t∈N} t(i) = (|N|/|P|) Σ_{r∈P} r(i), over non-NULL values.
+		var sumN, sumP float64
+		var cntN, cntP float64
+		for _, r := range n.rows {
+			if v := r.Tuple[f.Col]; !v.IsNull() {
+				sumN += v.AsFloat()
+				cntN++
+			}
+		}
+		for _, r := range p.rows {
+			if v := r.Tuple[f.Col]; !v.IsNull() {
+				sumP += v.AsFloat()
+				cntP++
+			}
+		}
+		if cntP == 0 {
+			return true
+		}
+		return sumN*cntP == sumP*cntN
+	case AggMin, AggMax:
+		fP, ok := applyFunc(f, p.rows, -1)
+		if !ok || fP.IsNull() {
+			return true
+		}
+		// The latest expiration among tuples achieving the extremum.
+		extTexp := xtime.Time(0)
+		for _, r := range p.rows {
+			if v := r.Tuple[f.Col]; !v.IsNull() && v.Equal(fP) {
+				extTexp = xtime.Max(extTexp, r.Texp)
+			}
+		}
+		for _, r := range n.rows {
+			v := r.Tuple[f.Col]
+			if v.IsNull() {
+				continue // non-contributing, removable
+			}
+			if v.Equal(fP) {
+				// An extremal tuple is removable only if a longer-lived
+				// extremal tuple remains.
+				if r.Texp >= extTexp {
+					return false
+				}
+				continue
+			}
+			// Strictly worse than the extremum is always removable.
+			if f.Kind == AggMin && v.Compare(fP) < 0 {
+				return false
+			}
+			if f.Kind == AggMax && v.Compare(fP) > 0 {
+				return false
+			}
+		}
+		return true
+	default: // AggCount handled by caller
+		return false
+	}
+}
+
+// exactTime implements the change-point function ν of formula (9) by
+// simulation: the smallest τ′ ≥ tau at which the aggregate value computed
+// over the unexpired part of the partition differs from its value at tau
+// (χ(τ′−…)), or at which the partition empties; ∞ when neither ever
+// happens (some tuples never expire and the value is stable).
+func exactTime(f AggFunc, p *partition, tau xtime.Time) xtime.Time {
+	v0, _ := applyFunc(f, p.rows, tau)
+	for _, s := range timeSlices(p) {
+		if s.texp <= tau || s.texp == xtime.Infinity {
+			continue
+		}
+		v, nonEmpty := applyFunc(f, p.rows, s.texp)
+		if !nonEmpty {
+			return s.texp // partition empties here
+		}
+		if !v.Equal(v0) {
+			return s.texp // value changes here
+		}
+	}
+	return xtime.Infinity
+}
+
+// ExprTexp implements Expr: the materialised aggregation becomes invalid
+// when the argument expires or when some partition's aggregate value
+// changes before the partition has fully expired (§2.6.1's texp formula).
+func (a *Agg) ExprTexp(tau xtime.Time) (xtime.Time, error) {
+	t, err := a.Child.ExprTexp(tau)
+	if err != nil {
+		return 0, err
+	}
+	parts, err := a.partitions(tau)
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range parts {
+		if ev := a.partitionTime(p, tau); ev.invalidates {
+			t = xtime.Min(t, ev.time)
+		}
+	}
+	return t, nil
+}
+
+// Validity implements Expr (§3.4.1): the materialisation is valid exactly
+// while every partition either still shows its original aggregate value
+// (before T_P) or has expired entirely. Value changes are terminal for a
+// materialisation — its tuples have expired and cannot reappear — so each
+// partition contributes [tau, T_P[ ∪ [emptying, ∞[.
+func (a *Agg) Validity(tau xtime.Time) (interval.Set, error) {
+	v, err := monotonicValidity(tau, a.Child)
+	if err != nil {
+		return interval.Set{}, err
+	}
+	parts, err := a.partitions(tau)
+	if err != nil {
+		return interval.Set{}, err
+	}
+	for _, p := range parts {
+		ev := a.partitionTime(p, tau)
+		pv := interval.NewSet(interval.Interval{Start: tau, End: ev.time})
+		empty := xtime.Time(0)
+		finite := true
+		for _, r := range p.rows {
+			if !r.Texp.IsFinite() {
+				finite = false
+				break
+			}
+			empty = xtime.Max(empty, r.Texp)
+		}
+		if finite {
+			pv = pv.Union(interval.From(empty))
+		}
+		v = v.Intersect(pv)
+	}
+	return v, nil
+}
+
+// FutureChanges counts, over all partitions, how many times an aggregate
+// attribute value will change due to expirations — the paper's §3.4.1
+// bound on the memory needed to store the future states of an aggregation
+// (at most |R|).
+func (a *Agg) FutureChanges(tau xtime.Time) (int, error) {
+	parts, err := a.partitions(tau)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, p := range parts {
+		for _, f := range a.Funcs {
+			prev, _ := applyFunc(f, p.rows, tau)
+			for _, s := range timeSlices(p) {
+				if s.texp <= tau || s.texp == xtime.Infinity {
+					continue
+				}
+				v, nonEmpty := applyFunc(f, p.rows, s.texp)
+				if !nonEmpty {
+					break
+				}
+				if !v.Equal(prev) {
+					total++
+					prev = v
+				}
+			}
+		}
+	}
+	return total, nil
+}
+
+// Children implements Expr.
+func (a *Agg) Children() []Expr { return []Expr{a.Child} }
+
+func (a *Agg) String() string {
+	groups := make([]string, len(a.GroupCols))
+	for i, c := range a.GroupCols {
+		groups[i] = fmt.Sprintf("%d", c+1)
+	}
+	funcs := make([]string, len(a.Funcs))
+	for i, f := range a.Funcs {
+		funcs[i] = f.String()
+	}
+	return fmt.Sprintf("agg[{%s},%s;%s](%s)",
+		strings.Join(groups, ","), strings.Join(funcs, ","), a.Policy, a.Child)
+}

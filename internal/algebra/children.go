@@ -1,0 +1,37 @@
+package algebra
+
+import "fmt"
+
+// ReplaceChildren returns a copy of e whose direct subexpressions are
+// children, in the order Children() reports them. It is the structural
+// hook for per-operator recomputation (§3.1): a maintainer can substitute
+// cached materialisations (wrapped as Base leaves) for still-valid
+// subtrees and re-evaluate only the invalid operator.
+func ReplaceChildren(e Expr, children []Expr) (Expr, error) {
+	need := len(e.Children())
+	if len(children) != need {
+		return nil, fmt.Errorf("algebra: %T needs %d children, got %d", e, need, len(children))
+	}
+	switch n := e.(type) {
+	case *Base:
+		return n, nil
+	case *Select:
+		return &Select{Pred: n.Pred, Child: children[0]}, nil
+	case *Project:
+		return &Project{Cols: n.Cols, Child: children[0]}, nil
+	case *Product:
+		return &Product{Left: children[0], Right: children[1]}, nil
+	case *Union:
+		return &Union{Left: children[0], Right: children[1]}, nil
+	case *Join:
+		return &Join{Pred: n.Pred, Left: children[0], Right: children[1]}, nil
+	case *Intersect:
+		return &Intersect{Left: children[0], Right: children[1]}, nil
+	case *Diff:
+		return &Diff{Left: children[0], Right: children[1]}, nil
+	case *Agg:
+		return &Agg{GroupCols: n.GroupCols, Funcs: n.Funcs, Policy: n.Policy, Child: children[0]}, nil
+	default:
+		return nil, fmt.Errorf("algebra: ReplaceChildren: unsupported node %T", e)
+	}
+}

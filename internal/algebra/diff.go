@@ -1,0 +1,183 @@
+package algebra
+
+import (
+	"fmt"
+
+	"expdb/internal/interval"
+	"expdb/internal/relation"
+	"expdb/internal/tuple"
+	"expdb/internal/xtime"
+)
+
+// Diff is the non-monotonic primitive R −exp S, formula (10): a tuple
+// r ∈ expτ(R) with r ∉ expτ(S) retains texp_R(r).
+//
+// Difference makes materialisations invalid when a "critical" tuple — one
+// in both R and S with texp_R(t) > texp_S(t), case (3a) of Table 2 —
+// expires in S: at that instant the tuple should (re)appear in the result,
+// which the materialisation cannot know. texp(e) is formula (11); the
+// validity intervals refine formula (12); and the helper relation of
+// Theorem 3 turns those events into patches, removing the need to
+// recompute entirely.
+type Diff struct {
+	Left, Right Expr
+}
+
+// NewDiff builds a difference after checking union compatibility.
+func NewDiff(left, right Expr) (*Diff, error) {
+	if !left.Schema().UnionCompatible(right.Schema()) {
+		return nil, fmt.Errorf("algebra: difference of incompatible schemas %s and %s",
+			left.Schema(), right.Schema())
+	}
+	return &Diff{Left: left, Right: right}, nil
+}
+
+// Schema implements Expr.
+func (d *Diff) Schema() tuple.Schema { return d.Left.Schema() }
+
+// Monotonic implements Expr: difference is non-monotonic.
+func (d *Diff) Monotonic() bool { return false }
+
+// Eval implements Expr, formula (10).
+func (d *Diff) Eval(tau xtime.Time) (*relation.Relation, error) {
+	l, r, err := d.evalArgs(tau)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(d.Schema())
+	l.AliveAt(tau, func(row relation.Row) {
+		if !r.Contains(row.Tuple, tau) {
+			out.Insert(row.Tuple, row.Texp)
+		}
+	})
+	return out, nil
+}
+
+func (d *Diff) evalArgs(tau xtime.Time) (l, r *relation.Relation, err error) {
+	if l, err = d.Left.Eval(tau); err != nil {
+		return nil, nil, err
+	}
+	if r, err = d.Right.Eval(tau); err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+// CriticalRow describes one tuple of the critical set
+// {t | t ∈ R ∧ t ∈ S ∧ texp_R(t) > texp_S(t)}: the tuple should appear in
+// the result during [InS, InR[.
+type CriticalRow struct {
+	Tuple tuple.Tuple
+	InS   xtime.Time // texp_S(t): when it expires in S and must appear
+	InR   xtime.Time // texp_R(t): when it expires in R and must vanish again
+}
+
+// CriticalSet returns the critical rows at time tau, the set §3.1's
+// rewrites aim to shrink.
+func (d *Diff) CriticalSet(tau xtime.Time) ([]CriticalRow, error) {
+	l, r, err := d.evalArgs(tau)
+	if err != nil {
+		return nil, err
+	}
+	var crit []CriticalRow
+	l.AliveAt(tau, func(row relation.Row) {
+		if st, ok := r.Texp(row.Tuple); ok && st > tau && row.Texp > st {
+			crit = append(crit, CriticalRow{Tuple: row.Tuple, InS: st, InR: row.Texp})
+		}
+	})
+	return crit, nil
+}
+
+// ExprTexp implements Expr, formula (11):
+//
+//	texp(R − S) = min(texp(R), texp(S), min{texp_S(t) | t critical}).
+func (d *Diff) ExprTexp(tau xtime.Time) (xtime.Time, error) {
+	t, err := minChildTexp(tau, d.Left, d.Right)
+	if err != nil {
+		return 0, err
+	}
+	crit, err := d.CriticalSet(tau)
+	if err != nil {
+		return 0, err
+	}
+	for _, c := range crit {
+		t = xtime.Min(t, c.InS)
+	}
+	return t, nil
+}
+
+// Validity implements Expr. The paper's closed form (12) removes the
+// single interval [min texp_S, max texp_S[ spanned by the critical
+// tuples; this implementation refines it to the exact invalid set
+// ∪ [texp_S(t), texp_R(t)[ over critical tuples t — each critical tuple
+// makes the materialisation wrong precisely while it should be visible
+// but is not. The result is a superset of (12)'s validity (never smaller),
+// and matches brute-force recomputation exactly, which the property tests
+// verify.
+func (d *Diff) Validity(tau xtime.Time) (interval.Set, error) {
+	v, err := monotonicValidity(tau, d.Left, d.Right)
+	if err != nil {
+		return interval.Set{}, err
+	}
+	crit, err := d.CriticalSet(tau)
+	if err != nil {
+		return interval.Set{}, err
+	}
+	invalid := make([]interval.Interval, 0, len(crit))
+	for _, c := range crit {
+		invalid = append(invalid, interval.Interval{Start: c.InS, End: c.InR})
+	}
+	return v.Subtract(interval.NewSet(invalid...)), nil
+}
+
+// PaperValidity returns the closed form (12) as the paper's prose intends
+// it — "valid until the first tuple should appear at texp_S(t), and after
+// all critical tuples have expired":
+//
+//	I(R − S) = [τ,∞[ − [min{texp_S(t)}, max{texp_R(t)}[ over critical t.
+//
+// (Formula (12) as printed uses texp_S for the upper bound too, which
+// would declare the materialisation valid while a critical tuple is still
+// missing from it; the brute-force property tests confirm the prose
+// reading. PaperValidity is kept for comparison with the refined
+// per-tuple Validity, which additionally recovers gaps between critical
+// windows.)
+func (d *Diff) PaperValidity(tau xtime.Time) (interval.Set, error) {
+	crit, err := d.CriticalSet(tau)
+	if err != nil {
+		return interval.Set{}, err
+	}
+	if len(crit) == 0 {
+		return interval.From(tau), nil
+	}
+	lo, hi := xtime.Infinity, xtime.Time(0)
+	for _, c := range crit {
+		lo = xtime.Min(lo, c.InS)
+		hi = xtime.Max(hi, c.InR)
+	}
+	return interval.From(tau).Subtract(interval.NewSet(interval.Interval{Start: lo, End: hi})), nil
+}
+
+// Children implements Expr.
+func (d *Diff) Children() []Expr { return []Expr{d.Left, d.Right} }
+
+func (d *Diff) String() string { return fmt.Sprintf("(%s − %s)", d.Left, d.Right) }
+
+// Helper returns the helper relation R(R −exp S) of Theorem 3:
+// {r | r ∈ expτ(R) ∧ r ∈ expτ(S)} with texp_*(t) = texp_S(t). When a
+// helper tuple expires (in S), it is due for insertion into the
+// materialised difference with expiration texp_R(t); views drive this
+// through a patch queue, extending the materialisation's lifetime to ∞.
+func (d *Diff) Helper(tau xtime.Time) ([]CriticalRow, error) {
+	l, r, err := d.evalArgs(tau)
+	if err != nil {
+		return nil, err
+	}
+	var rows []CriticalRow
+	l.AliveAt(tau, func(row relation.Row) {
+		if st, ok := r.Texp(row.Tuple); ok && st > tau {
+			rows = append(rows, CriticalRow{Tuple: row.Tuple, InS: st, InR: row.Texp})
+		}
+	})
+	return rows, nil
+}

@@ -1,0 +1,223 @@
+package algebra
+
+import (
+	"testing"
+
+	"expdb/internal/interval"
+	"expdb/internal/relation"
+	"expdb/internal/tuple"
+	"expdb/internal/xtime"
+)
+
+// projUID returns πexp_1(e): the UID column of Pol/El.
+func projUID(t *testing.T, e Expr) Expr {
+	t.Helper()
+	p, err := NewProject([]int{0}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// diffUID builds the paper's Figure 3(b)–(d) expression
+// πexp_1(Pol) −exp πexp_1(El).
+func diffUID(t *testing.T) *Diff {
+	t.Helper()
+	d, err := NewDiff(projUID(t, pol()), projUID(t, el()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestFigure3Difference reproduces Figure 3(b)–(d): the recomputed
+// difference grows monotonically before time 10.
+func TestFigure3Difference(t *testing.T) {
+	d := diffUID(t)
+	// Time 0: only ⟨3⟩ (UIDs 1 and 2 are in both; 4 only in El).
+	wantRows(t, mustEval(t, d, 0), 0, []relation.Row{row(10, 3)})
+	// Time 3: ⟨2⟩ reappears (its El tuple expired at 3).
+	wantRows(t, mustEval(t, d, 3), 3, []relation.Row{row(15, 2), row(10, 3)})
+	// Time 5: ⟨1⟩ reappears as well (Figure 3(d)).
+	wantRows(t, mustEval(t, d, 5), 5, []relation.Row{row(10, 1), row(15, 2), row(10, 3)})
+}
+
+// TestFigure3InvalidFrom3 checks the paper's conclusion: "the expression
+// is invalid from time 3 onwards" — texp(e) = 3 for the materialisation at
+// time 0 (formula (11)).
+func TestFigure3InvalidFrom3(t *testing.T) {
+	d := diffUID(t)
+	if got := mustTexp(t, d, 0); got != 3 {
+		t.Fatalf("texp(Pol − El) = %v, want 3", got)
+	}
+	// Materialised at time 3 the first critical tuple is ⟨1⟩ at 5.
+	if got := mustTexp(t, d, 3); got != 5 {
+		t.Fatalf("texp at 3 = %v, want 5", got)
+	}
+	// Materialised at time 5 no critical tuples remain: texp = ∞.
+	if got := mustTexp(t, d, 5); got != xtime.Infinity {
+		t.Fatalf("texp at 5 = %v, want ∞", got)
+	}
+}
+
+// TestTable2Cases exercises the lifetime analysis of Table 2 case by case.
+func TestTable2Cases(t *testing.T) {
+	r := relation.New(tuple.IntCols("v"))
+	s := relation.New(tuple.IntCols("v"))
+	r.MustInsertInts(10, 1) // case (1): only in R → texp_*(t) = texp_R(t)
+	s.MustInsertInts(10, 2) // case (2): only in S → not in result, no effect
+	r.MustInsertInts(9, 3)  // case (3a): in both with texp_R > texp_S
+	s.MustInsertInts(4, 3)
+	r.MustInsertInts(2, 5) // case (3b): in both with texp_R ≤ texp_S
+	s.MustInsertInts(8, 5)
+	d, err := NewDiff(NewBase("R", r), NewBase("S", s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows(t, mustEval(t, d, 0), 0, []relation.Row{row(10, 1)})
+	// Only case (3a) limits the expression: texp(e) = texp_S(⟨3⟩) = 4.
+	if got := mustTexp(t, d, 0); got != 4 {
+		t.Errorf("texp = %v, want 4", got)
+	}
+	crit, err := d.CriticalSet(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crit) != 1 || !crit[0].Tuple.Equal(tuple.Ints(3)) || crit[0].InS != 4 || crit[0].InR != 9 {
+		t.Errorf("critical set = %+v", crit)
+	}
+}
+
+// TestDiffValidityExactAgainstBruteForce compares the refined validity
+// intervals with a direct materialise-vs-recompute sweep.
+func TestDiffValidityExactAgainstBruteForce(t *testing.T) {
+	d := diffUID(t)
+	mat := mustEval(t, d, 0)
+	v, err := d.Validity(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tau := xtime.Time(0); tau <= 20; tau++ {
+		fresh := mustEval(t, d, tau)
+		matches := fresh.EqualAt(mat, tau)
+		if v.Contains(tau) != matches {
+			t.Errorf("validity claims %v at %v but brute force says %v (I = %s)",
+				v.Contains(tau), tau, matches, v)
+		}
+	}
+}
+
+// TestDiffValidityShape checks the interval structure for the paper's
+// example: invalid exactly while critical tuples should be visible.
+// Critical tuples: ⟨1⟩ (El 5 → Pol 10) and ⟨2⟩ (El 3 → Pol 15).
+func TestDiffValidityShape(t *testing.T) {
+	d := diffUID(t)
+	v, err := d.Validity(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := interval.From(0).Subtract(interval.NewSet(
+		interval.Interval{Start: 5, End: 10}, // ⟨1⟩ missing
+		interval.Interval{Start: 3, End: 15}, // ⟨2⟩ missing
+	))
+	if !v.Equal(want) {
+		t.Errorf("validity = %s, want %s", v, want)
+	}
+	// The literal paper formula (12) is coarser but must be a subset.
+	pv, err := d.PaperValidity(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pv.Intersect(v).Equal(pv) {
+		t.Errorf("paper validity %s not contained in refined %s", pv, v)
+	}
+}
+
+// TestHelperRelationTheorem3 checks the helper relation R(R −exp S): all
+// tuples alive in both arguments, keyed by texp_S, due for insertion with
+// texp_R.
+func TestHelperRelationTheorem3(t *testing.T) {
+	d := diffUID(t)
+	rows, err := d.Helper(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("|helper| = %d, want 2 (= |R ∩ S|)", len(rows))
+	}
+	byUID := map[int64]CriticalRow{}
+	for _, r := range rows {
+		byUID[r.Tuple[0].AsInt()] = r
+	}
+	if r := byUID[1]; r.InS != 5 || r.InR != 10 {
+		t.Errorf("helper ⟨1⟩ = %+v, want InS=5 InR=10", r)
+	}
+	if r := byUID[2]; r.InS != 3 || r.InR != 15 {
+		t.Errorf("helper ⟨2⟩ = %+v, want InS=3 InR=15", r)
+	}
+}
+
+// TestPatchedDiffEqualsRecompute replays helper expirations into the
+// materialisation and checks Theorem 3: with patching, recomputation is
+// never needed (the expression behaves as if texp(e) = ∞).
+func TestPatchedDiffEqualsRecompute(t *testing.T) {
+	d := diffUID(t)
+	mat := mustEval(t, d, 0)
+	patches, err := d.Helper(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tau := xtime.Time(0); tau <= 20; tau++ {
+		// Apply due patches: a helper tuple expired in S at InS ≤ tau is
+		// inserted with expiration texp_R.
+		for _, p := range patches {
+			if p.InS <= tau {
+				mat.Insert(p.Tuple, p.InR)
+			}
+		}
+		fresh := mustEval(t, d, tau)
+		if !fresh.EqualAt(mat, tau) {
+			t.Fatalf("patched materialisation diverges at %v:\nmat:\n%s\nfresh:\n%s",
+				tau, mat.Render(tau), fresh.Render(tau))
+		}
+	}
+}
+
+func TestDiffOfIdenticalRelationsNeverInvalid(t *testing.T) {
+	// "operations on relations all of whose tuples have the same
+	// expiration time always result in expressions with infinite
+	// expiration time" (§2.7).
+	r := relation.New(tuple.IntCols("v"))
+	s := relation.New(tuple.IntCols("v"))
+	for i := int64(0); i < 5; i++ {
+		r.MustInsertInts(7, i)
+		s.MustInsertInts(7, i)
+	}
+	d, err := NewDiff(NewBase("R", r), NewBase("S", s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustTexp(t, d, 0); got != xtime.Infinity {
+		t.Errorf("texp = %v, want ∞", got)
+	}
+	v, err := d.Validity(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(interval.From(0)) {
+		t.Errorf("validity = %s, want [0, inf[", v)
+	}
+}
+
+func TestDiffEmptyRight(t *testing.T) {
+	s := relation.New(tuple.IntCols("UID"))
+	d, err := NewDiff(projUID(t, pol()), NewBase("empty", s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R − ∅ = R with original texps; never invalid.
+	wantRows(t, mustEval(t, d, 0), 0, []relation.Row{row(10, 1), row(15, 2), row(10, 3)})
+	if got := mustTexp(t, d, 0); got != xtime.Infinity {
+		t.Errorf("texp = %v, want ∞", got)
+	}
+}

@@ -1,0 +1,401 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"expdb/internal/interval"
+	"expdb/internal/relation"
+	"expdb/internal/tuple"
+	"expdb/internal/xtime"
+)
+
+// Select is σexp_p(R), formula (1): result tuples are the unexpired tuples
+// satisfying p and retain their expiration times.
+type Select struct {
+	Pred  Predicate
+	Child Expr
+}
+
+// NewSelect builds a selection, validating the predicate against the
+// child schema.
+func NewSelect(pred Predicate, child Expr) (*Select, error) {
+	if pred.MaxCol() >= child.Schema().Arity() {
+		return nil, fmt.Errorf("algebra: predicate %s references column beyond schema %s",
+			pred, child.Schema())
+	}
+	return &Select{Pred: pred, Child: child}, nil
+}
+
+// Schema implements Expr.
+func (s *Select) Schema() tuple.Schema { return s.Child.Schema() }
+
+// Monotonic implements Expr.
+func (s *Select) Monotonic() bool { return s.Child.Monotonic() }
+
+// Eval implements Expr.
+func (s *Select) Eval(tau xtime.Time) (*relation.Relation, error) {
+	in, err := s.Child.Eval(tau)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(s.Schema())
+	in.AliveAt(tau, func(row relation.Row) {
+		if s.Pred.Holds(row.Tuple) {
+			out.Insert(row.Tuple, row.Texp)
+		}
+	})
+	return out, nil
+}
+
+// ExprTexp implements Expr: texp(σ(e′)) = texp(e′).
+func (s *Select) ExprTexp(tau xtime.Time) (xtime.Time, error) {
+	return s.Child.ExprTexp(tau)
+}
+
+// Validity implements Expr.
+func (s *Select) Validity(tau xtime.Time) (interval.Set, error) {
+	return monotonicValidity(tau, s.Child)
+}
+
+// Children implements Expr.
+func (s *Select) Children() []Expr { return []Expr{s.Child} }
+
+func (s *Select) String() string {
+	return fmt.Sprintf("σ[%s](%s)", s.Pred, s.Child)
+}
+
+// Project is πexp_{j1..jn}(R), formula (3): duplicate elimination assigns
+// each result tuple the maximum expiration time of all its duplicates.
+type Project struct {
+	Cols  []int // 0-based
+	Child Expr
+}
+
+// NewProject builds a projection onto the given 0-based columns.
+func NewProject(cols []int, child Expr) (*Project, error) {
+	for _, c := range cols {
+		if c < 0 || c >= child.Schema().Arity() {
+			return nil, fmt.Errorf("algebra: projection column %d out of range for %s",
+				c+1, child.Schema())
+		}
+	}
+	return &Project{Cols: cols, Child: child}, nil
+}
+
+// Schema implements Expr.
+func (p *Project) Schema() tuple.Schema { return p.Child.Schema().Project(p.Cols) }
+
+// Monotonic implements Expr.
+func (p *Project) Monotonic() bool { return p.Child.Monotonic() }
+
+// Eval implements Expr. relation.Insert keeps the max expiration on
+// duplicate keys, which is exactly the rule of (3).
+func (p *Project) Eval(tau xtime.Time) (*relation.Relation, error) {
+	in, err := p.Child.Eval(tau)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(p.Schema())
+	in.AliveAt(tau, func(row relation.Row) {
+		out.Insert(row.Tuple.Project(p.Cols), row.Texp)
+	})
+	return out, nil
+}
+
+// ExprTexp implements Expr: texp(π(e′)) = texp(e′).
+func (p *Project) ExprTexp(tau xtime.Time) (xtime.Time, error) {
+	return p.Child.ExprTexp(tau)
+}
+
+// Validity implements Expr.
+func (p *Project) Validity(tau xtime.Time) (interval.Set, error) {
+	return monotonicValidity(tau, p.Child)
+}
+
+// Children implements Expr.
+func (p *Project) Children() []Expr { return []Expr{p.Child} }
+
+func (p *Project) String() string {
+	cols := make([]string, len(p.Cols))
+	for i, c := range p.Cols {
+		cols[i] = fmt.Sprintf("%d", c+1)
+	}
+	return fmt.Sprintf("π[%s](%s)", strings.Join(cols, ","), p.Child)
+}
+
+// Product is R ×exp S, formula (2): result tuples are concatenations of
+// unexpired argument tuples and carry the minimum of the two lifetimes.
+type Product struct {
+	Left, Right Expr
+}
+
+// NewProduct builds a Cartesian product.
+func NewProduct(left, right Expr) *Product { return &Product{Left: left, Right: right} }
+
+// Schema implements Expr.
+func (p *Product) Schema() tuple.Schema { return p.Left.Schema().Concat(p.Right.Schema()) }
+
+// Monotonic implements Expr.
+func (p *Product) Monotonic() bool { return p.Left.Monotonic() && p.Right.Monotonic() }
+
+// Eval implements Expr.
+func (p *Product) Eval(tau xtime.Time) (*relation.Relation, error) {
+	l, err := p.Left.Eval(tau)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.Right.Eval(tau)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(p.Schema())
+	l.AliveAt(tau, func(lr relation.Row) {
+		r.AliveAt(tau, func(rr relation.Row) {
+			out.Insert(lr.Tuple.Concat(rr.Tuple), xtime.Min(lr.Texp, rr.Texp))
+		})
+	})
+	return out, nil
+}
+
+// ExprTexp implements Expr: texp(e1 × e2) = min(texp(e1), texp(e2)).
+func (p *Product) ExprTexp(tau xtime.Time) (xtime.Time, error) {
+	return minChildTexp(tau, p.Left, p.Right)
+}
+
+// Validity implements Expr.
+func (p *Product) Validity(tau xtime.Time) (interval.Set, error) {
+	return monotonicValidity(tau, p.Left, p.Right)
+}
+
+// Children implements Expr.
+func (p *Product) Children() []Expr { return []Expr{p.Left, p.Right} }
+
+func (p *Product) String() string { return fmt.Sprintf("(%s × %s)", p.Left, p.Right) }
+
+// Union is R ∪exp S, formula (4): union-compatible arguments; a tuple in
+// both carries the maximum of the two expiration times.
+type Union struct {
+	Left, Right Expr
+}
+
+// NewUnion builds a union after checking union compatibility.
+func NewUnion(left, right Expr) (*Union, error) {
+	if !left.Schema().UnionCompatible(right.Schema()) {
+		return nil, fmt.Errorf("algebra: union of incompatible schemas %s and %s",
+			left.Schema(), right.Schema())
+	}
+	return &Union{Left: left, Right: right}, nil
+}
+
+// Schema implements Expr. The left schema names win, as in SQL.
+func (u *Union) Schema() tuple.Schema { return u.Left.Schema() }
+
+// Monotonic implements Expr.
+func (u *Union) Monotonic() bool { return u.Left.Monotonic() && u.Right.Monotonic() }
+
+// Eval implements Expr. relation.Insert keeps the max expiration for
+// duplicates, implementing the three-way case split of (4).
+func (u *Union) Eval(tau xtime.Time) (*relation.Relation, error) {
+	l, err := u.Left.Eval(tau)
+	if err != nil {
+		return nil, err
+	}
+	r, err := u.Right.Eval(tau)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(u.Schema())
+	l.AliveAt(tau, func(row relation.Row) { out.Insert(row.Tuple, row.Texp) })
+	r.AliveAt(tau, func(row relation.Row) { out.Insert(row.Tuple, row.Texp) })
+	return out, nil
+}
+
+// ExprTexp implements Expr: texp(e1 ∪ e2) = min(texp(e1), texp(e2)).
+func (u *Union) ExprTexp(tau xtime.Time) (xtime.Time, error) {
+	return minChildTexp(tau, u.Left, u.Right)
+}
+
+// Validity implements Expr.
+func (u *Union) Validity(tau xtime.Time) (interval.Set, error) {
+	return monotonicValidity(tau, u.Left, u.Right)
+}
+
+// Children implements Expr.
+func (u *Union) Children() []Expr { return []Expr{u.Left, u.Right} }
+
+func (u *Union) String() string { return fmt.Sprintf("(%s ∪ %s)", u.Left, u.Right) }
+
+// Join is the derived operator R ⋈exp_p S = σexp_p′(R ×exp S), formula
+// (5). It is represented as its own node so that evaluation can use a hash
+// join for equality predicates instead of materialising the product; the
+// expiration-time semantics coincide with the rewrite by construction.
+type Join struct {
+	Pred        Predicate // over the concatenated schema
+	Left, Right Expr
+}
+
+// NewJoin builds a join whose predicate ranges over the concatenated
+// schema of left and right.
+func NewJoin(pred Predicate, left, right Expr) (*Join, error) {
+	arity := left.Schema().Arity() + right.Schema().Arity()
+	if pred.MaxCol() >= arity {
+		return nil, fmt.Errorf("algebra: join predicate %s references column beyond combined arity %d",
+			pred, arity)
+	}
+	return &Join{Pred: pred, Left: left, Right: right}, nil
+}
+
+// EquiJoin builds a join on leftCol = rightCol (0-based, each relative to
+// its own argument).
+func EquiJoin(left Expr, leftCol int, right Expr, rightCol int) (*Join, error) {
+	return NewJoin(ColCol{Left: leftCol, Right: left.Schema().Arity() + rightCol, Op: OpEq},
+		left, right)
+}
+
+// Schema implements Expr.
+func (j *Join) Schema() tuple.Schema { return j.Left.Schema().Concat(j.Right.Schema()) }
+
+// Monotonic implements Expr.
+func (j *Join) Monotonic() bool { return j.Left.Monotonic() && j.Right.Monotonic() }
+
+// equiCols extracts the (leftCol, rightCol) pairs of top-level equality
+// conjuncts usable by a hash join; ok is false when none exist.
+func (j *Join) equiCols() (left, right []int, rest []Predicate, ok bool) {
+	la := j.Left.Schema().Arity()
+	conjuncts := []Predicate{j.Pred}
+	if and, isAnd := j.Pred.(And); isAnd {
+		conjuncts = and.Preds
+	}
+	for _, c := range conjuncts {
+		if cc, isCC := c.(ColCol); isCC && cc.Op == OpEq {
+			lo, hi := minInt(cc.Left, cc.Right), maxInt(cc.Left, cc.Right)
+			if lo < la && hi >= la {
+				left = append(left, lo)
+				right = append(right, hi-la)
+				continue
+			}
+		}
+		rest = append(rest, c)
+	}
+	return left, right, rest, len(left) > 0
+}
+
+// Eval implements Expr with a hash join when the predicate contains
+// cross-argument equality conjuncts, falling back to a nested loop.
+func (j *Join) Eval(tau xtime.Time) (*relation.Relation, error) {
+	l, err := j.Left.Eval(tau)
+	if err != nil {
+		return nil, err
+	}
+	r, err := j.Right.Eval(tau)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(j.Schema())
+	leftCols, rightCols, rest, ok := j.equiCols()
+	if !ok {
+		l.AliveAt(tau, func(lr relation.Row) {
+			r.AliveAt(tau, func(rr relation.Row) {
+				t := lr.Tuple.Concat(rr.Tuple)
+				if j.Pred.Holds(t) {
+					out.Insert(t, xtime.Min(lr.Texp, rr.Texp))
+				}
+			})
+		})
+		return out, nil
+	}
+	idx := r.BuildIndex(tau, rightCols)
+	l.AliveAt(tau, func(lr relation.Row) {
+		for _, rr := range idx.ProbeProjected(lr.Tuple.Project(leftCols)) {
+			t := lr.Tuple.Concat(rr.Tuple)
+			if holdsAll(rest, t) {
+				out.Insert(t, xtime.Min(lr.Texp, rr.Texp))
+			}
+		}
+	})
+	return out, nil
+}
+
+func holdsAll(ps []Predicate, t tuple.Tuple) bool {
+	for _, p := range ps {
+		if !p.Holds(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExprTexp implements Expr.
+func (j *Join) ExprTexp(tau xtime.Time) (xtime.Time, error) {
+	return minChildTexp(tau, j.Left, j.Right)
+}
+
+// Validity implements Expr.
+func (j *Join) Validity(tau xtime.Time) (interval.Set, error) {
+	return monotonicValidity(tau, j.Left, j.Right)
+}
+
+// Children implements Expr.
+func (j *Join) Children() []Expr { return []Expr{j.Left, j.Right} }
+
+func (j *Join) String() string {
+	return fmt.Sprintf("(%s ⋈[%s] %s)", j.Left, j.Pred, j.Right)
+}
+
+// Intersect is the derived operator R ∩exp S, formula (6): tuples in the
+// intersection are assigned the minima of the participating expiration
+// times (the new expiration times are created by the inner Cartesian
+// product of the defining rewrite).
+type Intersect struct {
+	Left, Right Expr
+}
+
+// NewIntersect builds an intersection after checking union compatibility.
+func NewIntersect(left, right Expr) (*Intersect, error) {
+	if !left.Schema().UnionCompatible(right.Schema()) {
+		return nil, fmt.Errorf("algebra: intersection of incompatible schemas %s and %s",
+			left.Schema(), right.Schema())
+	}
+	return &Intersect{Left: left, Right: right}, nil
+}
+
+// Schema implements Expr.
+func (x *Intersect) Schema() tuple.Schema { return x.Left.Schema() }
+
+// Monotonic implements Expr.
+func (x *Intersect) Monotonic() bool { return x.Left.Monotonic() && x.Right.Monotonic() }
+
+// Eval implements Expr.
+func (x *Intersect) Eval(tau xtime.Time) (*relation.Relation, error) {
+	l, err := x.Left.Eval(tau)
+	if err != nil {
+		return nil, err
+	}
+	r, err := x.Right.Eval(tau)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(x.Schema())
+	l.AliveAt(tau, func(row relation.Row) {
+		if rt, ok := r.Texp(row.Tuple); ok && rt > tau {
+			out.Insert(row.Tuple, xtime.Min(row.Texp, rt))
+		}
+	})
+	return out, nil
+}
+
+// ExprTexp implements Expr.
+func (x *Intersect) ExprTexp(tau xtime.Time) (xtime.Time, error) {
+	return minChildTexp(tau, x.Left, x.Right)
+}
+
+// Validity implements Expr.
+func (x *Intersect) Validity(tau xtime.Time) (interval.Set, error) {
+	return monotonicValidity(tau, x.Left, x.Right)
+}
+
+// Children implements Expr.
+func (x *Intersect) Children() []Expr { return []Expr{x.Left, x.Right} }
+
+func (x *Intersect) String() string { return fmt.Sprintf("(%s ∩ %s)", x.Left, x.Right) }

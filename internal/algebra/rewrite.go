@@ -1,0 +1,223 @@
+package algebra
+
+// Rewrites (§3.1 of the paper): algebraic equivalences that postpone the
+// time a recomputation has to take place. The headline rule pushes
+// selections below the non-monotonic difference operator, which shrinks
+// the critical set {t | t ∈ R ∧ t ∈ S ∧ texp_R(t) > texp_S(t)} and thereby
+// moves texp(e) later; pushing below monotonic operators reduces the work
+// per recomputation. All rules preserve both the result *and* the derived
+// expiration times, which the property tests verify.
+
+// PushDownSelections rewrites e by pushing every selection as far towards
+// the leaves as equivalence permits and returns the rewritten expression.
+// The input expression is not modified; unchanged subtrees are shared.
+func PushDownSelections(e Expr) Expr {
+	switch n := e.(type) {
+	case *Select:
+		child := PushDownSelections(n.Child)
+		return pushSelect(n.Pred, child)
+	case *Project:
+		return &Project{Cols: n.Cols, Child: PushDownSelections(n.Child)}
+	case *Product:
+		return &Product{Left: PushDownSelections(n.Left), Right: PushDownSelections(n.Right)}
+	case *Union:
+		return &Union{Left: PushDownSelections(n.Left), Right: PushDownSelections(n.Right)}
+	case *Join:
+		return &Join{Pred: n.Pred, Left: PushDownSelections(n.Left), Right: PushDownSelections(n.Right)}
+	case *Intersect:
+		return &Intersect{Left: PushDownSelections(n.Left), Right: PushDownSelections(n.Right)}
+	case *Diff:
+		return &Diff{Left: PushDownSelections(n.Left), Right: PushDownSelections(n.Right)}
+	case *Agg:
+		return &Agg{GroupCols: n.GroupCols, Funcs: n.Funcs, Policy: n.Policy,
+			Child: PushDownSelections(n.Child)}
+	default:
+		return e
+	}
+}
+
+// pushSelect places σ_pred above child, first trying to sink it through
+// child's operator.
+func pushSelect(pred Predicate, child Expr) Expr {
+	switch n := child.(type) {
+	case *Select:
+		// σp(σq(e)) = σ(p ∧ q)(e): merge and retry as one predicate.
+		return pushSelect(And{Preds: []Predicate{pred, n.Pred}}, n.Child)
+	case *Project:
+		// σp(π_cols(e)) = π_cols(σ_p′(e)) with p′ remapped through cols.
+		if p2, ok := remapPred(pred, n.Cols); ok {
+			return &Project{Cols: n.Cols, Child: pushSelect(p2, n.Child)}
+		}
+	case *Union:
+		// σp(R ∪ S) = σp(R) ∪ σp(S); per-tuple max expirations are
+		// preserved because p filters identically on both sides.
+		return &Union{Left: pushSelect(pred, n.Left), Right: pushSelect(pred, n.Right)}
+	case *Intersect:
+		return &Intersect{Left: pushSelect(pred, n.Left), Right: pushSelect(pred, n.Right)}
+	case *Diff:
+		// σp(R − S) = σp(R) − σp(S): the rule §3.1 motivates — it shrinks
+		// the critical set to the selected tuples only.
+		return &Diff{Left: pushSelect(pred, n.Left), Right: pushSelect(pred, n.Right)}
+	case *Product:
+		if e, ok := pushThroughBinary(pred, n.Left, n.Right, func(l, r Expr) Expr {
+			return &Product{Left: l, Right: r}
+		}); ok {
+			return e
+		}
+	case *Join:
+		if e, ok := pushThroughBinary(pred, n.Left, n.Right, func(l, r Expr) Expr {
+			return &Join{Pred: n.Pred, Left: l, Right: r}
+		}); ok {
+			return e
+		}
+	case *Agg:
+		// σp(agg_{G,f}(e)) = agg_{G,f}(σp(e)) when p references only
+		// grouping columns: stable partitioning means whole partitions
+		// are kept or dropped, so aggregate values and partition times
+		// are unaffected.
+		if predColsWithin(pred, n.GroupCols) {
+			return &Agg{GroupCols: n.GroupCols, Funcs: n.Funcs, Policy: n.Policy,
+				Child: pushSelect(pred, n.Child)}
+		}
+	}
+	return &Select{Pred: pred, Child: child}
+}
+
+// pushThroughBinary distributes the conjuncts of pred over the two sides
+// of a product-like operator: conjuncts referencing only left columns sink
+// left, only right columns sink right (shifted), mixed ones stay above.
+func pushThroughBinary(pred Predicate, left, right Expr, rebuild func(l, r Expr) Expr) (Expr, bool) {
+	la := left.Schema().Arity()
+	conjuncts := []Predicate{pred}
+	if and, ok := pred.(And); ok {
+		conjuncts = and.Preds
+	}
+	var toLeft, toRight, keep []Predicate
+	for _, c := range conjuncts {
+		switch {
+		case c.MaxCol() < la:
+			toLeft = append(toLeft, c)
+		case c.MinCol() >= la && c.MaxCol() >= 0:
+			toRight = append(toRight, c.Shift(-la))
+		default:
+			keep = append(keep, c)
+		}
+	}
+	if len(toLeft) == 0 && len(toRight) == 0 {
+		return nil, false
+	}
+	l, r := left, right
+	if len(toLeft) > 0 {
+		l = pushSelect(andOf(toLeft), l)
+	}
+	if len(toRight) > 0 {
+		r = pushSelect(andOf(toRight), r)
+	}
+	out := rebuild(l, r)
+	if len(keep) > 0 {
+		out = &Select{Pred: andOf(keep), Child: out}
+	}
+	return out, true
+}
+
+func andOf(ps []Predicate) Predicate {
+	if len(ps) == 1 {
+		return ps[0]
+	}
+	return And{Preds: ps}
+}
+
+// remapPred rewrites pred (over a projection's output columns) to range
+// over the projection's input columns; ok is false when a referenced
+// output column cannot be mapped (never happens for valid predicates).
+func remapPred(pred Predicate, cols []int) (Predicate, bool) {
+	mapCol := func(c int) (int, bool) {
+		if c < 0 || c >= len(cols) {
+			return 0, false
+		}
+		return cols[c], true
+	}
+	switch p := pred.(type) {
+	case ColCol:
+		l, ok1 := mapCol(p.Left)
+		r, ok2 := mapCol(p.Right)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return ColCol{Left: l, Right: r, Op: p.Op}, true
+	case ColConst:
+		c, ok := mapCol(p.Col)
+		if !ok {
+			return nil, false
+		}
+		return ColConst{Col: c, Op: p.Op, Const: p.Const}, true
+	case And:
+		out := make([]Predicate, len(p.Preds))
+		for i, q := range p.Preds {
+			q2, ok := remapPred(q, cols)
+			if !ok {
+				return nil, false
+			}
+			out[i] = q2
+		}
+		return And{Preds: out}, true
+	case Or:
+		out := make([]Predicate, len(p.Preds))
+		for i, q := range p.Preds {
+			q2, ok := remapPred(q, cols)
+			if !ok {
+				return nil, false
+			}
+			out[i] = q2
+		}
+		return Or{Preds: out}, true
+	case Not:
+		q, ok := remapPred(p.Pred, cols)
+		if !ok {
+			return nil, false
+		}
+		return Not{Pred: q}, true
+	case True:
+		return p, true
+	default:
+		return nil, false
+	}
+}
+
+// predColsWithin reports whether every column referenced by pred belongs
+// to allowed.
+func predColsWithin(pred Predicate, allowed []int) bool {
+	set := map[int]bool{}
+	for _, c := range allowed {
+		set[c] = true
+	}
+	ok := true
+	var check func(p Predicate)
+	check = func(p Predicate) {
+		switch q := p.(type) {
+		case ColCol:
+			if !set[q.Left] || !set[q.Right] {
+				ok = false
+			}
+		case ColConst:
+			if !set[q.Col] {
+				ok = false
+			}
+		case And:
+			for _, s := range q.Preds {
+				check(s)
+			}
+		case Or:
+			for _, s := range q.Preds {
+				check(s)
+			}
+		case Not:
+			check(q.Pred)
+		case True:
+		default:
+			ok = false
+		}
+	}
+	check(pred)
+	return ok
+}

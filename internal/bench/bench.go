@@ -1,0 +1,124 @@
+// Package bench regenerates every table and figure of the paper plus the
+// recomputation analyses of §3 as deterministic experiments (see
+// DESIGN.md §3 for the index E1–E9). Each experiment prints the series it
+// reproduces; cmd/expbench drives them, and EXPERIMENTS.md records the
+// outcomes against the paper's claims.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"unicode/utf8"
+)
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer) error
+}
+
+// All returns the experiments in index order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Figures 1–2: monotonic maintenance equals recomputation", Run: RunE1},
+		{ID: "E2", Title: "Theorem 1: maintenance vs recomputation cost", Run: RunE2},
+		{ID: "E3", Title: "Figure 3: non-monotonic invalidation", Run: RunE3},
+		{ID: "E4", Title: "Table 1: aggregate expiration policies", Run: RunE4},
+		{ID: "E5", Title: "Table 2 / formula (11): difference lifetimes", Run: RunE5},
+		{ID: "E6", Title: "Theorem 3: patching vs recomputation over the wire", Run: RunE6},
+		{ID: "E7", Title: "§3.2: eager vs lazy removal", Run: RunE7},
+		{ID: "E8", Title: "§3.3–3.4: Schrödinger interval semantics", Run: RunE8},
+		{ID: "E9", Title: "§3.1: rewrite ablation", Run: RunE9},
+		{ID: "E10", Title: "§3.4.2: patch-budget trade-off", Run: RunE10},
+		{ID: "E11", Title: "§3.1: per-operator recomputation ablation", Run: RunE11},
+	}
+}
+
+// Run executes the experiments with the given ids (all when empty),
+// writing their reports to w.
+func Run(w io.Writer, ids ...string) error {
+	want := map[string]bool{}
+	for _, id := range ids {
+		want[strings.ToUpper(id)] = true
+	}
+	ran := map[string]bool{}
+	for _, e := range All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		ran[e.ID] = true
+		fmt.Fprintf(w, "=== %s: %s ===\n", e.ID, e.Title)
+		if err := e.Run(w); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintln(w)
+	}
+	var missing []string
+	for id := range want {
+		if !ran[id] {
+			missing = append(missing, id)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("bench: unknown experiment id(s): %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// table is a tiny column-aligned printer for experiment reports.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(cols ...string) *table { return &table{header: cols} }
+
+func (t *table) add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if w := utf8.RuneCountInString(c); i < len(widths) && w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-n)
+}

@@ -1,0 +1,127 @@
+// Package catalog implements the name space of an expiration-time
+// database: base relations and materialised views, looked up by the
+// engine and the SQL planner.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"expdb/internal/relation"
+	"expdb/internal/tuple"
+	"expdb/internal/view"
+)
+
+// Catalog maps names to relations and views. It is safe for concurrent
+// use.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*relation.Relation
+	views  map[string]*view.View
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*relation.Relation),
+		views:  make(map[string]*view.View),
+	}
+}
+
+// CreateTable registers a new empty relation under name.
+func (c *Catalog) CreateTable(name string, schema tuple.Schema) (*relation.Relation, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; ok {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	if _, ok := c.views[name]; ok {
+		return nil, fmt.Errorf("catalog: %q already names a view", name)
+	}
+	r := relation.New(schema)
+	c.tables[name] = r
+	return r, nil
+}
+
+// DropTable removes the named relation.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// Table returns the named relation.
+func (c *Catalog) Table(name string) (*relation.Relation, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	return r, nil
+}
+
+// Tables returns the table names in sorted order.
+func (c *Catalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisterView stores a view under its name.
+func (c *Catalog) RegisterView(v *view.View) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.views[v.Name()]; ok {
+		return fmt.Errorf("catalog: view %q already exists", v.Name())
+	}
+	if _, ok := c.tables[v.Name()]; ok {
+		return fmt.Errorf("catalog: %q already names a table", v.Name())
+	}
+	c.views[v.Name()] = v
+	return nil
+}
+
+// DropView removes the named view.
+func (c *Catalog) DropView(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.views[name]; !ok {
+		return fmt.Errorf("catalog: view %q does not exist", name)
+	}
+	delete(c.views, name)
+	return nil
+}
+
+// View returns the named view.
+func (c *Catalog) View(name string) (*view.View, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.views[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: view %q does not exist", name)
+	}
+	return v, nil
+}
+
+// Views returns the view names in sorted order.
+func (c *Catalog) Views() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.views))
+	for n := range c.views {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

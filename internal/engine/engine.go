@@ -1,0 +1,452 @@
+// Package engine implements the expiration-time database engine: base
+// relations with automatic tuple expiration, ON-EXPIRE triggers, eager and
+// lazy removal of expired tuples (§3.2 of the paper), and materialised
+// views maintained in synchrony with their base relations.
+//
+// The engine is driven by a logical clock (Advance), which keeps
+// experiments and tests deterministic; wall-clock deployments map real
+// time onto ticks at whatever granularity they choose.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"expdb/internal/algebra"
+	"expdb/internal/catalog"
+	"expdb/internal/pqueue"
+	"expdb/internal/relation"
+	"expdb/internal/tuple"
+	"expdb/internal/view"
+	"expdb/internal/wheel"
+	"expdb/internal/xtime"
+)
+
+// SweepMode selects when expired tuples are physically removed and when
+// expiration triggers fire (§3.2).
+type SweepMode uint8
+
+const (
+	// SweepEager removes tuples and fires triggers at the exact tick a
+	// tuple expires — "useful when events should be triggered as soon as
+	// a tuple expires".
+	SweepEager SweepMode = iota
+	// SweepLazy keeps expired tuples invisible but physically present,
+	// removing them (and firing their triggers, late) in periodic batch
+	// sweeps — "lazy expiration provides more optimisation
+	// opportunities".
+	SweepLazy
+)
+
+// String names the mode.
+func (m SweepMode) String() string {
+	if m == SweepEager {
+		return "eager"
+	}
+	return "lazy"
+}
+
+// SchedulerKind selects the data structure driving eager expiration.
+type SchedulerKind uint8
+
+const (
+	// SchedulerHeap uses a binary min-heap: O(log n) per event.
+	SchedulerHeap SchedulerKind = iota
+	// SchedulerWheel uses a hierarchical timing wheel: O(1) amortised,
+	// the structure behind the "real-time performance guarantees" the
+	// paper cites.
+	SchedulerWheel
+)
+
+// String names the scheduler.
+func (k SchedulerKind) String() string {
+	if k == SchedulerHeap {
+		return "heap"
+	}
+	return "wheel"
+}
+
+// TriggerFunc is invoked when a tuple expires. at is the tick the trigger
+// fires; row.Texp is the tick the tuple expired (they differ under lazy
+// sweeping).
+type TriggerFunc func(table string, row relation.Row, at xtime.Time)
+
+// expiryEvent is a scheduled check that a tuple has expired.
+type expiryEvent struct {
+	table string
+	key   tuple.Tuple
+	texp  xtime.Time
+}
+
+// Stats carries engine counters.
+type Stats struct {
+	Inserts        int
+	Deletes        int
+	TuplesExpired  int
+	TriggersFired  int
+	TriggerLatency int64 // Σ (fire tick − expiration tick), lazy sweeping only
+	Sweeps         int
+}
+
+// Engine is an expiration-time-enabled in-memory database.
+type Engine struct {
+	mu  sync.RWMutex
+	cat *catalog.Catalog
+	now xtime.Time
+
+	sweepMode  SweepMode
+	sweepEvery xtime.Time // lazy sweep period
+	lastSweep  xtime.Time
+
+	sched     SchedulerKind
+	heap      *pqueue.Queue[expiryEvent]
+	timeWheel *wheel.Wheel[expiryEvent]
+
+	triggers map[string][]TriggerFunc
+	watches  []*viewWatch
+	stats    Stats
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithSweep selects eager or lazy removal; period is the lazy sweep
+// interval in ticks (ignored for eager).
+func WithSweep(mode SweepMode, period xtime.Time) Option {
+	return func(e *Engine) {
+		e.sweepMode = mode
+		if period > 0 {
+			e.sweepEvery = period
+		}
+	}
+}
+
+// WithScheduler selects the eager scheduler backend.
+func WithScheduler(k SchedulerKind) Option {
+	return func(e *Engine) { e.sched = k }
+}
+
+// New returns an engine at tick 0.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		cat:        catalog.New(),
+		sweepEvery: 16,
+		triggers:   make(map[string][]TriggerFunc),
+		heap:       pqueue.New[expiryEvent](0),
+		timeWheel:  wheel.New[expiryEvent](0),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Catalog exposes the engine's catalog (shared with the SQL layer).
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Now returns the current tick.
+func (e *Engine) Now() xtime.Time {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.now
+}
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.stats
+}
+
+// CreateTable registers a new base relation.
+func (e *Engine) CreateTable(name string, schema tuple.Schema) error {
+	_, err := e.cat.CreateTable(name, schema)
+	return err
+}
+
+// OnExpire registers fn to fire whenever a tuple of table expires.
+func (e *Engine) OnExpire(table string, fn TriggerFunc) error {
+	if _, err := e.cat.Table(table); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.triggers[table] = append(e.triggers[table], fn)
+	return nil
+}
+
+// Insert adds t to table with the absolute expiration time texp. This is
+// the only place (apart from Update) where expiration times surface to
+// users, in line with the paper's transparency goal.
+func (e *Engine) Insert(table string, t tuple.Tuple, texp xtime.Time) error {
+	rel, err := e.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	if err := rel.Schema().Validate(t); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if texp <= e.now && texp != xtime.Infinity {
+		return fmt.Errorf("engine: expiration time %v not after current tick %v", texp, e.now)
+	}
+	rel.Insert(t, texp)
+	e.stats.Inserts++
+	e.schedule(table, t, texp)
+	return nil
+}
+
+// InsertTTL adds t with a lifetime of ttl ticks from now; ttl of
+// xtime.Infinity means the tuple never expires.
+func (e *Engine) InsertTTL(table string, t tuple.Tuple, ttl xtime.Time) error {
+	e.mu.RLock()
+	texp := e.now.Add(ttl)
+	e.mu.RUnlock()
+	return e.Insert(table, t, texp)
+}
+
+// Delete removes t from table immediately (an explicit delete, the
+// operation expiration times are designed to make rare).
+func (e *Engine) Delete(table string, t tuple.Tuple) (bool, error) {
+	rel, err := e.cat.Table(table)
+	if err != nil {
+		return false, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ok := rel.Delete(t)
+	if ok {
+		e.stats.Deletes++
+	}
+	return ok, nil
+}
+
+func (e *Engine) schedule(table string, t tuple.Tuple, texp xtime.Time) {
+	if e.sweepMode != SweepEager || texp == xtime.Infinity {
+		return
+	}
+	ev := expiryEvent{table: table, key: t.Clone(), texp: texp}
+	if e.sched == SchedulerWheel {
+		e.timeWheel.Schedule(texp, ev)
+	} else {
+		e.heap.Push(texp, ev)
+	}
+}
+
+// firedEvent is an expiration whose triggers are due for dispatch.
+type firedEvent struct {
+	table string
+	row   relation.Row
+	at    xtime.Time
+}
+
+// Advance moves the logical clock to tick to, firing expirations along
+// the way. It is the heartbeat of the engine. Triggers run after the
+// clock has moved and without holding the engine lock, so they may freely
+// issue engine operations (inserts, deletes, queries) — but not Advance.
+func (e *Engine) Advance(to xtime.Time) error {
+	e.mu.Lock()
+	if to < e.now {
+		now := e.now
+		e.mu.Unlock()
+		return fmt.Errorf("engine: cannot advance backwards from %v to %v", now, to)
+	}
+	var events []firedEvent
+	if e.sweepMode == SweepEager {
+		events = e.advanceEager(to)
+	} else {
+		events = e.advanceLazy(to)
+	}
+	e.now = to
+	watches := e.checkWatches()
+	e.mu.Unlock()
+	e.dispatch(events)
+	for _, fw := range watches {
+		fw.watch.fn(fw.watch.name, fw.at)
+	}
+	return nil
+}
+
+func (e *Engine) advanceEager(to xtime.Time) []firedEvent {
+	var due []expiryEvent
+	if e.sched == SchedulerWheel {
+		due = e.timeWheel.Advance(to)
+	} else {
+		for _, it := range e.heap.PopDue(to) {
+			due = append(due, it.Value)
+		}
+	}
+	var events []firedEvent
+	for _, ev := range due {
+		if fe, ok := e.expireNow(ev); ok {
+			events = append(events, fe)
+		}
+	}
+	return events
+}
+
+// expireNow checks that the scheduled tuple really is expired (it may
+// have been deleted, or re-inserted with a longer lifetime — in which
+// case a fresher event exists) and removes it, returning the trigger
+// event.
+func (e *Engine) expireNow(ev expiryEvent) (firedEvent, bool) {
+	rel, err := e.cat.Table(ev.table)
+	if err != nil {
+		return firedEvent{}, false // table dropped
+	}
+	texp, ok := rel.Texp(ev.key)
+	if !ok || texp != ev.texp {
+		return firedEvent{}, false // deleted or lifetime extended
+	}
+	rel.Delete(ev.key)
+	e.stats.TuplesExpired++
+	return firedEvent{table: ev.table, row: relation.Row{Tuple: ev.key, Texp: ev.texp}, at: ev.texp}, true
+}
+
+func (e *Engine) advanceLazy(to xtime.Time) []firedEvent {
+	// Sweep at each multiple of sweepEvery crossed by the advance, so
+	// trigger latency is bounded by the period.
+	var events []firedEvent
+	for tick := e.lastSweep + e.sweepEvery; tick <= to; tick += e.sweepEvery {
+		events = append(events, e.sweepAt(tick)...)
+		e.lastSweep = tick
+	}
+	return events
+}
+
+func (e *Engine) sweepAt(tick xtime.Time) []firedEvent {
+	e.stats.Sweeps++
+	var events []firedEvent
+	for _, name := range e.cat.Tables() {
+		rel, err := e.cat.Table(name)
+		if err != nil {
+			continue
+		}
+		for _, row := range rel.RemoveExpired(tick) {
+			e.stats.TuplesExpired++
+			e.stats.TriggerLatency += int64(tick - row.Texp)
+			events = append(events, firedEvent{table: name, row: row, at: tick})
+		}
+	}
+	return events
+}
+
+// Sweep forces a lazy batch sweep at the current tick.
+func (e *Engine) Sweep() {
+	e.mu.Lock()
+	events := e.sweepAt(e.now)
+	e.lastSweep = e.now
+	e.mu.Unlock()
+	e.dispatch(events)
+}
+
+// dispatch runs triggers outside the engine lock.
+func (e *Engine) dispatch(events []firedEvent) {
+	for _, ev := range events {
+		e.mu.Lock()
+		fns := append([]TriggerFunc(nil), e.triggers[ev.table]...)
+		e.stats.TriggersFired += len(fns)
+		e.mu.Unlock()
+		for _, fn := range fns {
+			fn(ev.table, ev.row, ev.at)
+		}
+	}
+}
+
+// Base returns an algebra leaf for the named table, for building
+// expressions against this engine.
+func (e *Engine) Base(table string) (*algebra.Base, error) {
+	rel, err := e.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.NewBase(table, rel), nil
+}
+
+// Query evaluates expr at the current tick. Expired tuples are invisible
+// regardless of whether they have been physically removed — the lazy
+// sweeper never leaks through queries. The engine's read lock is held for
+// the duration of the evaluation, making Query safe against concurrent
+// inserts, deletes and clock advances.
+func (e *Engine) Query(expr algebra.Expr) (*relation.Relation, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return expr.Eval(e.now)
+}
+
+// MaterializeExpr atomically evaluates expr at the current tick and
+// derives its expression expiration time texp(e); with wantHelper it also
+// extracts the Theorem 3 helper rows when expr is a difference (patched
+// remote copies then invalidate only with the arguments, so the returned
+// texp is the arguments' minimum). It returns the tick the
+// materialisation reflects.
+func (e *Engine) MaterializeExpr(expr algebra.Expr, wantHelper bool) (rel *relation.Relation, texp xtime.Time, helper []algebra.CriticalRow, now xtime.Time, err error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	now = e.now
+	rel, err = expr.Eval(now)
+	if err != nil {
+		return nil, 0, nil, now, err
+	}
+	texp, err = expr.ExprTexp(now)
+	if err != nil {
+		return nil, 0, nil, now, err
+	}
+	if wantHelper {
+		if d, ok := expr.(*algebra.Diff); ok {
+			helper, err = d.Helper(now)
+			if err != nil {
+				return nil, 0, nil, now, err
+			}
+			texpL, errL := d.Left.ExprTexp(now)
+			texpR, errR := d.Right.ExprTexp(now)
+			if errL == nil && errR == nil {
+				texp = xtime.Min(texpL, texpR)
+			}
+		}
+	}
+	return rel, texp, helper, now, nil
+}
+
+// CreateView registers and materialises a view at the current tick.
+func (e *Engine) CreateView(name string, expr algebra.Expr, opts ...view.Option) (*view.View, error) {
+	v, err := view.New(name, expr, opts...)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	err = v.Materialize(e.now)
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.cat.RegisterView(v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// ReadView answers a query against the named view at the current tick.
+// Reads may mutate the view (patch application, recomputation), so the
+// engine's write lock is held.
+func (e *Engine) ReadView(name string) (*relation.Relation, view.ReadInfo, error) {
+	v, err := e.cat.View(name)
+	if err != nil {
+		return nil, view.ReadInfo{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return v.Read(e.now)
+}
+
+// RefreshView re-materialises the named view at the current tick.
+func (e *Engine) RefreshView(name string) error {
+	v, err := e.cat.View(name)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return v.Materialize(e.now)
+}

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"expdb/internal/xtime"
+)
+
+// ViewObserverFunc is notified when a registered view's materialisation
+// becomes invalid at tick at — the §3.3 "queries and observers" hook: an
+// observer may refresh the view, push an invalidation message to remote
+// copies, or simply record that answers are now stale.
+type ViewObserverFunc func(name string, at xtime.Time)
+
+// viewWatch tracks one observed view.
+type viewWatch struct {
+	name    string
+	fn      ViewObserverFunc
+	refresh bool
+	// notified remembers that the current materialisation's invalidation
+	// has been reported, so an observer fires once per invalidation, not
+	// once per tick.
+	notified bool
+}
+
+// OnViewInvalid registers fn to fire when the named view's
+// materialisation invalidates as the clock advances. With autoRefresh the
+// engine re-materialises the view immediately after notifying, so
+// subsequent reads are served from a fresh materialisation ("one option
+// is to recompute the expression once it becomes invalid", §3.1).
+func (e *Engine) OnViewInvalid(name string, fn ViewObserverFunc, autoRefresh bool) error {
+	if _, err := e.cat.View(name); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.watches = append(e.watches, &viewWatch{name: name, fn: fn, refresh: autoRefresh})
+	return nil
+}
+
+// checkWatches runs under the engine lock and returns the notifications
+// to dispatch outside it.
+func (e *Engine) checkWatches() []firedWatch {
+	var due []firedWatch
+	for _, w := range e.watches {
+		v, err := e.cat.View(w.name)
+		if err != nil {
+			continue // view dropped
+		}
+		if !v.NeedsRecomputation(e.now) {
+			w.notified = false
+			continue
+		}
+		if w.notified {
+			continue
+		}
+		w.notified = true
+		due = append(due, firedWatch{watch: w, at: e.now})
+		if w.refresh {
+			if err := v.Materialize(e.now); err == nil {
+				w.notified = false
+			}
+		}
+	}
+	return due
+}
+
+// firedWatch is one pending observer notification.
+type firedWatch struct {
+	watch *viewWatch
+	at    xtime.Time
+}

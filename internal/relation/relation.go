@@ -1,0 +1,295 @@
+// Package relation implements expiration-time-enabled relations: sets of
+// tuples where each tuple r carries an expiration time texp_R(r) after
+// which it ceases to be current (paper §2.2).
+//
+// Relations are sets (the paper's model is set-based): inserting a
+// duplicate tuple keeps the later of the two expiration times, the same
+// rule union ∪exp applies. The function expτ(R) = {r ∈ R | texp_R(r) > τ}
+// is exposed as AliveAt/Snapshot.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"expdb/internal/tuple"
+	"expdb/internal/value"
+	"expdb/internal/xtime"
+)
+
+// Row pairs a tuple with its expiration time.
+type Row struct {
+	Tuple tuple.Tuple
+	Texp  xtime.Time
+}
+
+// Relation is a mutable set of tuples with expiration times. The zero
+// value is not usable; construct with New.
+type Relation struct {
+	schema tuple.Schema
+	rows   map[string]Row // set key -> row
+}
+
+// New returns an empty relation with the given schema.
+func New(schema tuple.Schema) *Relation {
+	return &Relation{schema: schema, rows: make(map[string]Row)}
+}
+
+// FromRows builds a relation from rows, applying set semantics.
+func FromRows(schema tuple.Schema, rows []Row) *Relation {
+	r := New(schema)
+	for _, row := range rows {
+		r.Insert(row.Tuple, row.Texp)
+	}
+	return r
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() tuple.Schema { return r.schema }
+
+// Len returns the number of stored tuples, including ones that may already
+// have expired logically but have not been removed (lazy removal, §3.2).
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Insert adds t with expiration texp. If an equal tuple is present the
+// larger expiration time wins (set semantics consistent with ∪exp). It
+// reports whether the relation's visible content changed.
+func (r *Relation) Insert(t tuple.Tuple, texp xtime.Time) bool {
+	k := t.Key()
+	if old, ok := r.rows[k]; ok {
+		if texp > old.Texp {
+			r.rows[k] = Row{Tuple: old.Tuple, Texp: texp}
+			return true
+		}
+		return false
+	}
+	r.rows[k] = Row{Tuple: t.Clone(), Texp: texp}
+	return true
+}
+
+// InsertRow is Insert for a Row value.
+func (r *Relation) InsertRow(row Row) bool { return r.Insert(row.Tuple, row.Texp) }
+
+// Delete removes the tuple equal to t, reporting whether it was present.
+func (r *Relation) Delete(t tuple.Tuple) bool {
+	k := t.Key()
+	if _, ok := r.rows[k]; !ok {
+		return false
+	}
+	delete(r.rows, k)
+	return true
+}
+
+// Texp returns texp_R(t) and whether t ∈ R.
+func (r *Relation) Texp(t tuple.Tuple) (xtime.Time, bool) {
+	row, ok := r.rows[t.Key()]
+	if !ok {
+		return 0, false
+	}
+	return row.Texp, true
+}
+
+// Contains reports whether t ∈ expτ(R), i.e. t is present and unexpired at
+// time tau.
+func (r *Relation) Contains(t tuple.Tuple, tau xtime.Time) bool {
+	row, ok := r.rows[t.Key()]
+	return ok && row.Texp > tau
+}
+
+// AliveAt calls fn for every row of expτ(R). Iteration order is
+// unspecified; fn must not mutate the relation.
+func (r *Relation) AliveAt(tau xtime.Time, fn func(Row)) {
+	for _, row := range r.rows {
+		if row.Texp > tau {
+			fn(row)
+		}
+	}
+}
+
+// All calls fn for every stored row regardless of expiration.
+func (r *Relation) All(fn func(Row)) {
+	for _, row := range r.rows {
+		fn(row)
+	}
+}
+
+// CountAt returns |expτ(R)|.
+func (r *Relation) CountAt(tau xtime.Time) int {
+	n := 0
+	for _, row := range r.rows {
+		if row.Texp > tau {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns a new relation holding exactly expτ(R).
+func (r *Relation) Snapshot(tau xtime.Time) *Relation {
+	out := New(r.schema)
+	for k, row := range r.rows {
+		if row.Texp > tau {
+			out.rows[k] = Row{Tuple: row.Tuple.Clone(), Texp: row.Texp}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of r, expired rows included.
+func (r *Relation) Clone() *Relation {
+	out := New(r.schema)
+	for k, row := range r.rows {
+		out.rows[k] = Row{Tuple: row.Tuple.Clone(), Texp: row.Texp}
+	}
+	return out
+}
+
+// RemoveExpired physically deletes rows with texp ≤ tau and returns them.
+// This is the eager/lazy removal hook of §3.2: eager engines call it on
+// every expiration event, lazy ones batch calls.
+func (r *Relation) RemoveExpired(tau xtime.Time) []Row {
+	var removed []Row
+	for k, row := range r.rows {
+		if row.Texp <= tau {
+			removed = append(removed, row)
+			delete(r.rows, k)
+		}
+	}
+	return removed
+}
+
+// NextExpiration returns the smallest finite texp strictly greater than
+// tau, or Infinity when no stored tuple expires after tau. Engines use it
+// to schedule sweeps and triggers.
+func (r *Relation) NextExpiration(tau xtime.Time) xtime.Time {
+	next := xtime.Infinity
+	for _, row := range r.rows {
+		if row.Texp > tau && row.Texp < next {
+			next = row.Texp
+		}
+	}
+	return next
+}
+
+// Rows returns the rows of expτ(R) sorted by tuple order — a deterministic
+// view for tests, rendering and wire transfer.
+func (r *Relation) Rows(tau xtime.Time) []Row {
+	out := make([]Row, 0, len(r.rows))
+	for _, row := range r.rows {
+		if row.Texp > tau {
+			out = append(out, row)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
+	return out
+}
+
+// EqualAt reports whether expτ(r) and expτ(o) contain the same tuples with
+// the same expiration times.
+func (r *Relation) EqualAt(o *Relation, tau xtime.Time) bool {
+	if r.CountAt(tau) != o.CountAt(tau) {
+		return false
+	}
+	equal := true
+	r.AliveAt(tau, func(row Row) {
+		other, ok := o.rows[row.Tuple.Key()]
+		if !ok || other.Texp <= tau || other.Texp != row.Texp {
+			equal = false
+		}
+	})
+	return equal
+}
+
+// SameTuplesAt is EqualAt ignoring expiration times: the two relations are
+// equal as plain sets at time tau.
+func (r *Relation) SameTuplesAt(o *Relation, tau xtime.Time) bool {
+	if r.CountAt(tau) != o.CountAt(tau) {
+		return false
+	}
+	equal := true
+	r.AliveAt(tau, func(row Row) {
+		other, ok := o.rows[row.Tuple.Key()]
+		if !ok || other.Texp <= tau {
+			equal = false
+		}
+	})
+	return equal
+}
+
+// String renders expτ(R) at τ=-1 (i.e. every stored row) as an aligned
+// table with a texp column, in the style of the paper's Figure 1.
+func (r *Relation) String() string { return r.Render(-1) }
+
+// Render renders expτ(R) as a table.
+func (r *Relation) Render(tau xtime.Time) string {
+	var b strings.Builder
+	b.WriteString("texp |")
+	for _, c := range r.schema.Cols {
+		fmt.Fprintf(&b, " %s", c.Name)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows(tau) {
+		fmt.Fprintf(&b, "%4s |", row.Texp)
+		for _, v := range row.Tuple {
+			fmt.Fprintf(&b, " %s", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Index is a hash index over a column subset, mapping projected keys to
+// rows. It accelerates joins, intersections and difference probes.
+type Index struct {
+	cols []int
+	m    map[string][]Row
+}
+
+// BuildIndex builds an index of expτ(R) on the given 0-based columns.
+func (r *Relation) BuildIndex(tau xtime.Time, cols []int) *Index {
+	idx := &Index{cols: cols, m: make(map[string][]Row)}
+	r.AliveAt(tau, func(row Row) {
+		k := row.Tuple.Project(cols).Key()
+		idx.m[k] = append(idx.m[k], row)
+	})
+	return idx
+}
+
+// Probe returns the rows whose indexed columns equal the projection of
+// key onto those columns; key must have the full schema arity.
+func (idx *Index) Probe(key tuple.Tuple) []Row {
+	return idx.m[key.Project(idx.cols).Key()]
+}
+
+// ProbeProjected returns the rows for an already-projected key tuple.
+func (idx *Index) ProbeProjected(projected tuple.Tuple) []Row {
+	return idx.m[projected.Key()]
+}
+
+// Sum of lifetimes helper: TotalRemainingLifetime returns Σ max(0,
+// texp-tau) over alive rows with finite texp — used by experiments to
+// quantify how long materialised data stays maintainable.
+func (r *Relation) TotalRemainingLifetime(tau xtime.Time) int64 {
+	var total int64
+	r.AliveAt(tau, func(row Row) {
+		if row.Texp.IsFinite() {
+			total += int64(row.Texp - tau)
+		}
+	})
+	return total
+}
+
+// MustInsertInts is a test/demo helper: insert an all-integer tuple.
+func (r *Relation) MustInsertInts(texp xtime.Time, vs ...int64) {
+	t := tuple.Ints(vs...)
+	if err := r.schema.Validate(t); err != nil {
+		panic(err)
+	}
+	r.Insert(t, texp)
+}
+
+// ValueAt returns attribute i (0-based) of the single column c of row
+// tuples; convenience for aggregates. (Kept here to avoid exporting row
+// internals elsewhere.)
+func ValueAt(row Row, c int) value.Value { return row.Tuple[c] }

@@ -1,0 +1,379 @@
+package sql
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"expdb/internal/algebra"
+	"expdb/internal/engine"
+	"expdb/internal/relation"
+	"expdb/internal/tuple"
+	"expdb/internal/view"
+	"expdb/internal/xtime"
+)
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	// Rel is the result relation of a query (nil for DDL/DML).
+	Rel *relation.Relation
+	// Rows is set when the query had ORDER BY or LIMIT: the visible rows
+	// in presentation order. The underlying result (Rel) remains a set.
+	Rows []relation.Row
+	// At is the engine tick the result reflects.
+	At xtime.Time
+	// Msg is a human-readable outcome for non-query statements and
+	// EXPLAIN.
+	Msg string
+}
+
+// Session executes SQL against an engine. It carries per-session settings
+// such as the aggregation expiration policy. A Session is not safe for
+// concurrent use; open one per client.
+type Session struct {
+	eng    *engine.Engine
+	policy algebra.AggPolicy
+	notify io.Writer // trigger NOTIFY sink; nil discards
+}
+
+// NewSession opens a session on eng. Trigger notifications are written to
+// notify (pass nil to discard them).
+func NewSession(eng *engine.Engine, notify io.Writer) *Session {
+	return &Session{eng: eng, policy: algebra.PolicyExact, notify: notify}
+}
+
+// PlanQuery parses q (which must be a SELECT) and lowers it to an algebra
+// expression bound to the engine's relations, without evaluating it. The
+// wire server uses it to materialise queries for remote nodes.
+func (s *Session) PlanQuery(q string) (algebra.Expr, error) {
+	stmt, err := Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected a SELECT, got %T", stmt)
+	}
+	if len(sel.OrderBy) > 0 || sel.Limit >= 0 {
+		return nil, fmt.Errorf("sql: ORDER BY/LIMIT are presentation-level and cannot be planned as an expression")
+	}
+	return s.planSelect(sel)
+}
+
+// Exec parses and executes one statement.
+func (s *Session) Exec(input string) (*Result, error) {
+	stmt, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(stmt)
+}
+
+// ExecScript executes a semicolon-separated script, stopping at the first
+// error; it returns the result of the last statement.
+func (s *Session) ExecScript(input string) (*Result, error) {
+	stmts, err := ParseScript(input)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Msg: "empty script"}
+	for _, stmt := range stmts {
+		res, err = s.ExecStmt(stmt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ExecStmt executes a parsed statement.
+func (s *Session) ExecStmt(stmt Statement) (*Result, error) {
+	switch st := stmt.(type) {
+	case *CreateTable:
+		cols := make([]tuple.Column, len(st.Cols))
+		for i, c := range st.Cols {
+			cols[i] = tuple.Column{Name: c.Name, Kind: c.Kind}
+		}
+		if err := s.eng.CreateTable(st.Name, tuple.Schema{Cols: cols}); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: fmt.Sprintf("table %s created", st.Name), At: s.eng.Now()}, nil
+
+	case *DropTable:
+		if err := s.eng.Catalog().DropTable(st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: fmt.Sprintf("table %s dropped", st.Name), At: s.eng.Now()}, nil
+
+	case *Insert:
+		return s.execInsert(st)
+
+	case *Delete:
+		return s.execDelete(st)
+
+	case *Select:
+		expr, err := s.planSelect(st)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := s.eng.Query(expr)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Rel: rel, At: s.eng.Now()}
+		if len(st.OrderBy) > 0 || st.Limit >= 0 {
+			if err := s.orderAndLimit(st, expr, res); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+
+	case *CreateView:
+		return s.execCreateView(st)
+
+	case *CreateTrigger:
+		msg := st.Message
+		name := st.Name
+		err := s.eng.OnExpire(st.Table, func(table string, row relation.Row, at xtime.Time) {
+			if s.notify != nil {
+				fmt.Fprintf(s.notify, "NOTIFY %s: %s %s expired at %s (fired %s)\n",
+					name, table, row.Tuple, row.Texp, at)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Msg: fmt.Sprintf("trigger %s on %s created (%s)", name, st.Table, msg), At: s.eng.Now()}, nil
+
+	case *AdvanceTo:
+		if err := s.eng.Advance(st.To); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: fmt.Sprintf("time is now %s", st.To), At: st.To}, nil
+
+	case *SetPolicy:
+		switch st.Policy {
+		case "naive":
+			s.policy = algebra.PolicyNaive
+		case "neutral":
+			s.policy = algebra.PolicyNeutral
+		case "exact":
+			s.policy = algebra.PolicyExact
+		default:
+			return nil, fmt.Errorf("sql: unknown aggregation policy %q (naive, neutral, exact)", st.Policy)
+		}
+		return &Result{Msg: fmt.Sprintf("aggregation policy set to %s", st.Policy), At: s.eng.Now()}, nil
+
+	case *Show:
+		return s.execShow(st)
+
+	case *RefreshView:
+		if err := s.eng.RefreshView(st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: fmt.Sprintf("view %s refreshed at %s", st.Name, s.eng.Now()), At: s.eng.Now()}, nil
+
+	case *Explain:
+		return s.execExplain(st)
+
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
+	}
+}
+
+func (s *Session) execInsert(st *Insert) (*Result, error) {
+	now := s.eng.Now()
+	texp := xtime.Infinity
+	switch st.Expires.Kind {
+	case ExpiresAt:
+		texp = st.Expires.Time
+	case ExpiresIn:
+		texp = now.Add(st.Expires.Time)
+	}
+	for _, row := range st.Rows {
+		if err := s.eng.Insert(st.Table, tuple.Tuple(row), texp); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Msg: fmt.Sprintf("%d tuple(s) inserted into %s (expires %s)",
+		len(st.Rows), st.Table, texp), At: now}, nil
+}
+
+func (s *Session) execDelete(st *Delete) (*Result, error) {
+	base, err := s.eng.Base(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	now := s.eng.Now()
+	var pred algebra.Predicate = algebra.True{}
+	if st.Where != nil {
+		sc := newScope(st.Table, base.Schema())
+		pred, err = condToPredicate(st.Where, sc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Query returns an independent snapshot taken under the engine lock,
+	// so collecting victims does not race with writers.
+	snap, err := s.eng.Query(base)
+	if err != nil {
+		return nil, err
+	}
+	var victims []tuple.Tuple
+	snap.AliveAt(now, func(row relation.Row) {
+		if pred.Holds(row.Tuple) {
+			victims = append(victims, row.Tuple)
+		}
+	})
+	for _, v := range victims {
+		if _, err := s.eng.Delete(st.Table, v); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Msg: fmt.Sprintf("%d tuple(s) deleted from %s", len(victims), st.Table), At: now}, nil
+}
+
+func (s *Session) execCreateView(st *CreateView) (*Result, error) {
+	if len(st.Query.OrderBy) > 0 || st.Query.Limit >= 0 {
+		return nil, fmt.Errorf("sql: a view is a relation (a set); ORDER BY/LIMIT belong in the reading query")
+	}
+	expr, err := s.planSelect(st.Query)
+	if err != nil {
+		return nil, err
+	}
+	expr = algebra.PushDownSelections(expr)
+	var opts []view.Option
+	mode := view.ModeTexp
+	for _, opt := range st.Options {
+		name, val, _ := strings.Cut(opt, "=")
+		switch name {
+		case "patching":
+			opts = append(opts, view.WithPatching())
+		case "mode":
+			switch val {
+			case "texp":
+				mode = view.ModeTexp
+			case "interval":
+				mode = view.ModeInterval
+			case "recompute":
+				mode = view.ModeAlwaysRecompute
+			default:
+				return nil, fmt.Errorf("sql: unknown view mode %q", val)
+			}
+			opts = append(opts, view.WithMode(mode))
+		case "recovery":
+			var r view.Recovery
+			switch val {
+			case "recompute":
+				r = view.RecoverRecompute
+			case "reject":
+				r = view.RecoverReject
+			case "backward":
+				r = view.RecoverBackward
+			case "forward":
+				r = view.RecoverForward
+			default:
+				return nil, fmt.Errorf("sql: unknown view recovery %q", val)
+			}
+			opts = append(opts, view.WithRecovery(r))
+		default:
+			return nil, fmt.Errorf("sql: unknown view option %q", opt)
+		}
+	}
+	v, err := s.eng.CreateView(st.Name, expr, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Msg: fmt.Sprintf("view %s materialised at %s (texp %s)",
+		st.Name, v.MaterializedAt(), v.Texp()), At: s.eng.Now()}, nil
+}
+
+func (s *Session) execShow(st *Show) (*Result, error) {
+	switch st.What {
+	case "TABLES":
+		return &Result{Msg: strings.Join(s.eng.Catalog().Tables(), "\n"), At: s.eng.Now()}, nil
+	case "VIEWS":
+		var lines []string
+		for _, name := range s.eng.Catalog().Views() {
+			v, err := s.eng.Catalog().View(name)
+			if err != nil {
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("%s: %s (texp %s, validity %s)",
+				name, v.Expr(), v.Texp(), v.Validity()))
+		}
+		return &Result{Msg: strings.Join(lines, "\n"), At: s.eng.Now()}, nil
+	case "TIME":
+		return &Result{Msg: s.eng.Now().String(), At: s.eng.Now()}, nil
+	default: // STATS
+		st := s.eng.Stats()
+		return &Result{Msg: fmt.Sprintf(
+			"inserts=%d deletes=%d expired=%d triggers=%d sweeps=%d",
+			st.Inserts, st.Deletes, st.TuplesExpired, st.TriggersFired, st.Sweeps),
+			At: s.eng.Now()}, nil
+	}
+}
+
+func (s *Session) execExplain(st *Explain) (*Result, error) {
+	expr, err := s.planSelect(st.Query)
+	if err != nil {
+		return nil, err
+	}
+	rewritten := algebra.PushDownSelections(expr)
+	now := s.eng.Now()
+	texp, err := rewritten.ExprTexp(now)
+	if err != nil {
+		return nil, err
+	}
+	validity, err := rewritten.Validity(now)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan:      %s\n", expr)
+	if rewritten.String() != expr.String() {
+		fmt.Fprintf(&b, "rewritten: %s\n", rewritten)
+	}
+	fmt.Fprintf(&b, "monotonic: %v\n", rewritten.Monotonic())
+	fmt.Fprintf(&b, "texp(e):   %s\n", texp)
+	fmt.Fprintf(&b, "validity:  %s", validity)
+	return &Result{Msg: b.String(), At: now}, nil
+}
+
+// orderAndLimit fills res.Rows with the visible rows in ORDER BY order,
+// truncated to LIMIT. Ordering is presentation-level: the relational
+// result stays a set, matching the paper's model.
+func (s *Session) orderAndLimit(st *Select, expr algebra.Expr, res *Result) error {
+	schema := expr.Schema()
+	keys := make([]struct {
+		col  int
+		desc bool
+	}, len(st.OrderBy))
+	for i, o := range st.OrderBy {
+		idx := schema.ColumnIndex(o.Col.Name)
+		if idx < 0 {
+			return fmt.Errorf("sql: ORDER BY column %s not in result", refString(o.Col))
+		}
+		keys[i].col = idx
+		keys[i].desc = o.Desc
+	}
+	rows := res.Rel.Rows(res.At)
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			c := rows[i].Tuple[k.col].Compare(rows[j].Tuple[k.col])
+			if k.desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	if st.Limit >= 0 && st.Limit < len(rows) {
+		rows = rows[:st.Limit]
+	}
+	res.Rows = rows
+	return nil
+}

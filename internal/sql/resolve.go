@@ -1,0 +1,335 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"expdb/internal/algebra"
+	"expdb/internal/tuple"
+)
+
+// scope maps column references to 0-based indices of the current
+// intermediate schema during planning.
+type scope struct {
+	entries []scopeEntry
+}
+
+type scopeEntry struct {
+	table string // source name ("" never matches a qualifier)
+	col   string
+}
+
+func newScope(table string, schema tuple.Schema) *scope {
+	sc := &scope{}
+	sc.add(table, schema)
+	return sc
+}
+
+func (sc *scope) add(table string, schema tuple.Schema) {
+	for _, c := range schema.Cols {
+		sc.entries = append(sc.entries, scopeEntry{table: table, col: c.Name})
+	}
+}
+
+// resolve returns the index of ref, insisting on uniqueness for
+// unqualified names.
+func (sc *scope) resolve(ref ColRef) (int, error) {
+	found := -1
+	for i, e := range sc.entries {
+		if !strings.EqualFold(e.col, ref.Name) {
+			continue
+		}
+		if ref.Table != "" && !strings.EqualFold(e.table, ref.Table) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sql: column %s is ambiguous", refString(ref))
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("sql: unknown column %s", refString(ref))
+	}
+	return found, nil
+}
+
+func refString(ref ColRef) string {
+	if ref.Table != "" {
+		return ref.Table + "." + ref.Name
+	}
+	return ref.Name
+}
+
+// condToPredicate lowers a parsed condition into an algebra predicate
+// over the scope's schema.
+func condToPredicate(c Cond, sc *scope) (algebra.Predicate, error) {
+	switch n := c.(type) {
+	case *Compare:
+		return compareToPredicate(n, sc)
+	case *LogicalAnd:
+		preds := make([]algebra.Predicate, len(n.Conds))
+		for i, sub := range n.Conds {
+			p, err := condToPredicate(sub, sc)
+			if err != nil {
+				return nil, err
+			}
+			preds[i] = p
+		}
+		return algebra.And{Preds: preds}, nil
+	case *LogicalOr:
+		preds := make([]algebra.Predicate, len(n.Conds))
+		for i, sub := range n.Conds {
+			p, err := condToPredicate(sub, sc)
+			if err != nil {
+				return nil, err
+			}
+			preds[i] = p
+		}
+		return algebra.Or{Preds: preds}, nil
+	case *LogicalNot:
+		p, err := condToPredicate(n.Cond, sc)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Not{Pred: p}, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported condition %T", c)
+	}
+}
+
+var cmpOps = map[string]algebra.CmpOp{
+	"=": algebra.OpEq, "<>": algebra.OpNe, "<": algebra.OpLt,
+	"<=": algebra.OpLe, ">": algebra.OpGt, ">=": algebra.OpGe,
+}
+
+var flipped = map[string]string{
+	"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<=",
+}
+
+func compareToPredicate(n *Compare, sc *scope) (algebra.Predicate, error) {
+	op, ok := cmpOps[n.Op]
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown operator %q", n.Op)
+	}
+	switch {
+	case n.Left.Col != nil && n.Right.Col != nil:
+		l, err := sc.resolve(*n.Left.Col)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sc.resolve(*n.Right.Col)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.ColCol{Left: l, Right: r, Op: op}, nil
+	case n.Left.Col != nil && n.Right.Lit != nil:
+		l, err := sc.resolve(*n.Left.Col)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.ColConst{Col: l, Op: op, Const: *n.Right.Lit}, nil
+	case n.Left.Lit != nil && n.Right.Col != nil:
+		// Normalise "5 < x" to "x > 5".
+		r, err := sc.resolve(*n.Right.Col)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.ColConst{Col: r, Op: cmpOps[flipped[n.Op]], Const: *n.Left.Lit}, nil
+	default:
+		// Two literals: fold to a constant predicate.
+		cmp := n.Left.Lit.Compare(*n.Right.Lit)
+		var holds bool
+		switch op {
+		case algebra.OpEq:
+			holds = cmp == 0
+		case algebra.OpNe:
+			holds = cmp != 0
+		case algebra.OpLt:
+			holds = cmp < 0
+		case algebra.OpLe:
+			holds = cmp <= 0
+		case algebra.OpGt:
+			holds = cmp > 0
+		default:
+			holds = cmp >= 0
+		}
+		if holds {
+			return algebra.True{}, nil
+		}
+		return algebra.Not{Pred: algebra.True{}}, nil
+	}
+}
+
+// planSelect lowers a SELECT into an algebra expression over the engine's
+// base relations (or view snapshots).
+func (s *Session) planSelect(sel *Select) (algebra.Expr, error) {
+	expr, sc, err := s.planFrom(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	for i := range sel.Joins {
+		j := &sel.Joins[i]
+		right, rightSc, err := s.planFrom(j.Table)
+		if err != nil {
+			return nil, err
+		}
+		sc.entries = append(sc.entries, rightSc.entries...)
+		// The ON condition may reference every table joined so far
+		// (left-deep chain), so it is lowered against the widened scope.
+		pred, err := condToPredicate(j.On, sc)
+		if err != nil {
+			return nil, err
+		}
+		expr, err = algebra.NewJoin(pred, expr, right)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if sel.Where != nil {
+		pred, err := condToPredicate(sel.Where, sc)
+		if err != nil {
+			return nil, err
+		}
+		expr, err = algebra.NewSelect(pred, expr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	expr, err = s.planItems(sel, expr, sc)
+	if err != nil {
+		return nil, err
+	}
+	if sel.Set != nil {
+		right, err := s.planSelect(sel.Set.Right)
+		if err != nil {
+			return nil, err
+		}
+		switch sel.Set.Op {
+		case "UNION":
+			return algebra.NewUnion(expr, right)
+		case "EXCEPT":
+			return algebra.NewDiff(expr, right)
+		default:
+			return algebra.NewIntersect(expr, right)
+		}
+	}
+	return expr, nil
+}
+
+// planFrom resolves a FROM source: a base table becomes an algebra leaf
+// bound to the live relation; a view becomes a leaf over the view's
+// current answer (reads go through the view's maintenance machinery).
+func (s *Session) planFrom(ref TableRef) (algebra.Expr, *scope, error) {
+	if base, err := s.eng.Base(ref.Name); err == nil {
+		return base, newScope(ref.Name, base.Schema()), nil
+	}
+	rel, _, err := s.eng.ReadView(ref.Name)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sql: %q is neither a table nor a readable view: %w", ref.Name, err)
+	}
+	base := algebra.NewBase(ref.Name, rel)
+	return base, newScope(ref.Name, rel.Schema()), nil
+}
+
+// planItems applies grouping/aggregation and the final projection.
+func (s *Session) planItems(sel *Select, expr algebra.Expr, sc *scope) (algebra.Expr, error) {
+	hasAgg := false
+	hasStar := false
+	for _, it := range sel.Items {
+		if it.Agg != nil {
+			hasAgg = true
+		}
+		if it.Star {
+			hasStar = true
+		}
+	}
+	if hasStar {
+		if len(sel.Items) != 1 || hasAgg || len(sel.GroupBy) > 0 {
+			return nil, fmt.Errorf("sql: '*' cannot be combined with other select items or GROUP BY")
+		}
+		return expr, nil
+	}
+	if !hasAgg && len(sel.GroupBy) > 0 {
+		return nil, fmt.Errorf("sql: GROUP BY requires an aggregate in the select list")
+	}
+	if !hasAgg {
+		cols := make([]int, len(sel.Items))
+		for i, it := range sel.Items {
+			idx, err := sc.resolve(*it.Col)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = idx
+		}
+		return algebra.NewProject(cols, expr)
+	}
+
+	// Aggregation: group columns and aggregate functions.
+	groupCols := make([]int, len(sel.GroupBy))
+	groupSet := map[int]bool{}
+	for i, g := range sel.GroupBy {
+		idx, err := sc.resolve(g)
+		if err != nil {
+			return nil, err
+		}
+		groupCols[i] = idx
+		groupSet[idx] = true
+	}
+	var funcs []algebra.AggFunc
+	type itemPlan struct {
+		isAgg bool
+		col   int // group column index or function ordinal
+	}
+	plans := make([]itemPlan, len(sel.Items))
+	for i, it := range sel.Items {
+		if it.Agg == nil {
+			idx, err := sc.resolve(*it.Col)
+			if err != nil {
+				return nil, err
+			}
+			if !groupSet[idx] {
+				return nil, fmt.Errorf("sql: column %s must appear in GROUP BY", refString(*it.Col))
+			}
+			plans[i] = itemPlan{col: idx}
+			continue
+		}
+		f := algebra.AggFunc{Col: -1}
+		switch it.Agg.Func {
+		case "MIN":
+			f.Kind = algebra.AggMin
+		case "MAX":
+			f.Kind = algebra.AggMax
+		case "SUM":
+			f.Kind = algebra.AggSum
+		case "AVG":
+			f.Kind = algebra.AggAvg
+		case "COUNT":
+			f.Kind = algebra.AggCount
+		}
+		if !it.Agg.Star {
+			idx, err := sc.resolve(*it.Agg.Col)
+			if err != nil {
+				return nil, err
+			}
+			f.Col = idx
+		} else if it.Agg.Func != "COUNT" {
+			return nil, fmt.Errorf("sql: %s requires a column", it.Agg.Func)
+		}
+		plans[i] = itemPlan{isAgg: true, col: len(funcs)}
+		funcs = append(funcs, f)
+	}
+	childArity := expr.Schema().Arity()
+	agg, err := algebra.NewAgg(groupCols, funcs, s.policy, expr)
+	if err != nil {
+		return nil, err
+	}
+	outCols := make([]int, len(plans))
+	for i, pl := range plans {
+		if pl.isAgg {
+			outCols[i] = childArity + pl.col
+		} else {
+			outCols[i] = pl.col
+		}
+	}
+	return algebra.NewProject(outCols, agg)
+}

@@ -1,0 +1,316 @@
+// Package value implements the typed scalar values stored in tuples.
+//
+// The data model of the paper works over an abstract attribute domain D
+// with equality (and, for the generalised predicates of this
+// implementation, a total order). Value is a small tagged union covering
+// 64-bit integers, floats, strings, booleans and NULL; it is a comparable
+// Go type so that it can serve directly as a map key inside relations and
+// partitions.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported kinds. KindNull is the zero Kind so that the zero Value is
+// NULL, which keeps freshly allocated tuples well-defined.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind converts a type name (case-insensitive) to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToUpper(s) {
+	case "INT", "INTEGER", "BIGINT":
+		return KindInt, nil
+	case "FLOAT", "DOUBLE", "REAL":
+		return KindFloat, nil
+	case "STRING", "TEXT", "VARCHAR":
+		return KindString, nil
+	case "BOOL", "BOOLEAN":
+		return KindBool, nil
+	case "NULL":
+		return KindNull, nil
+	default:
+		return 0, fmt.Errorf("value: unknown type %q", s)
+	}
+}
+
+// Value is a scalar attribute value. It is comparable (usable as a map
+// key); Equal/Compare should still be preferred over == because they apply
+// numeric coercion between ints and floats.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String_ returns a string value. (Named with a trailing underscore to
+// leave the String method for fmt.Stringer.)
+func String_(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Kind reports the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload; floats are truncated.
+func (v Value) AsInt() int64 {
+	if v.kind == KindFloat {
+		return int64(v.f)
+	}
+	return v.i
+}
+
+// AsFloat returns the numeric payload as a float64.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindFloat {
+		return v.f
+	}
+	return float64(v.i)
+}
+
+// AsString returns the string payload ("" for non-strings).
+func (v Value) AsString() string { return v.s }
+
+// AsBool returns the boolean payload (false for non-bools).
+func (v Value) AsBool() bool { return v.kind == KindBool && v.i != 0 }
+
+// IsNumeric reports whether v is an INT or FLOAT.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Equal reports whether a and b are equal, coercing between numeric kinds:
+// Int(1) equals Float(1.0). NULL equals only NULL (set semantics for
+// duplicate elimination require NULL to be self-identical, as in SQL
+// GROUP BY).
+func (a Value) Equal(b Value) bool {
+	if a.kind == b.kind {
+		return a == b
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		return a.AsFloat() == b.AsFloat()
+	}
+	return false
+}
+
+// Compare totally orders values: NULL < BOOL < numbers < STRING, with
+// numeric coercion between INT and FLOAT. It returns -1, 0 or +1.
+func (a Value) Compare(b Value) int {
+	ra, rb := a.rank(), b.rank()
+	if ra != rb {
+		return cmpInt(int64(ra), int64(rb))
+	}
+	switch {
+	case a.kind == KindNull:
+		return 0
+	case a.kind == KindBool:
+		return cmpInt(a.i, b.i)
+	case a.kind == KindString:
+		return strings.Compare(a.s, b.s)
+	case a.kind == KindInt && b.kind == KindInt:
+		return cmpInt(a.i, b.i)
+	default: // at least one float
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+func (v Value) rank() int {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindFloat:
+		return 2
+	default: // KindString
+		return 3
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Add returns a+b for numeric values; mixing INT and FLOAT yields FLOAT.
+// Any NULL operand yields NULL (NULLs must not contribute to aggregates,
+// §2.4 of the paper).
+func Add(a, b Value) (Value, error) { return arith(a, b, "+") }
+
+// Sub returns a-b under the same rules as Add.
+func Sub(a, b Value) (Value, error) { return arith(a, b, "-") }
+
+// Mul returns a*b under the same rules as Add.
+func Mul(a, b Value) (Value, error) { return arith(a, b, "*") }
+
+// Div returns a/b; integer division of two INTs, float otherwise.
+// Division by zero is an error.
+func Div(a, b Value) (Value, error) { return arith(a, b, "/") }
+
+func arith(a, b Value, op string) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Null, fmt.Errorf("value: %s on non-numeric operands %s, %s", op, a.kind, b.kind)
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		switch op {
+		case "+":
+			return Int(a.i + b.i), nil
+		case "-":
+			return Int(a.i - b.i), nil
+		case "*":
+			return Int(a.i * b.i), nil
+		default:
+			if b.i == 0 {
+				return Null, fmt.Errorf("value: integer division by zero")
+			}
+			return Int(a.i / b.i), nil
+		}
+	}
+	af, bf := a.AsFloat(), b.AsFloat()
+	switch op {
+	case "+":
+		return Float(af + bf), nil
+	case "-":
+		return Float(af - bf), nil
+	case "*":
+		return Float(af * bf), nil
+	default:
+		if bf == 0 {
+			return Null, fmt.Errorf("value: float division by zero")
+		}
+		return Float(af / bf), nil
+	}
+}
+
+// String renders the value in SQL-literal style.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		if v.f == math.Trunc(v.f) && math.Abs(v.f) < 1e15 {
+			return strconv.FormatFloat(v.f, 'f', 1, 64)
+		}
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindBool:
+		if v.i != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return "?"
+	}
+}
+
+// AppendKey appends a self-delimiting binary encoding of v to dst. The
+// encoding distinguishes kinds so that Int(1) and String_("1") have
+// different keys while Int(1) and Float(1) deliberately share one, in line
+// with Equal. Used by relations to build set keys for tuples.
+func (v Value) AppendKey(dst []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, 'n')
+	case KindBool:
+		if v.i != 0 {
+			return append(dst, 'b', 1)
+		}
+		return append(dst, 'b', 0)
+	case KindInt, KindFloat:
+		// Encode numerics through float64 bits so coercible equals share
+		// keys (Int(1) and Float(1) are Equal and must collide). Integers
+		// outside the exact float64 range get their own encoding so that
+		// distinct large ints never merge.
+		if v.kind == KindInt && int64(float64(v.i)) != v.i {
+			dst = append(dst, 'i')
+			u := uint64(v.i)
+			for shift := 56; shift >= 0; shift -= 8 {
+				dst = append(dst, byte(u>>uint(shift)))
+			}
+			return dst
+		}
+		f := v.AsFloat()
+		if f == 0 { // normalise -0
+			f = 0
+		}
+		bits := math.Float64bits(f)
+		dst = append(dst, 'f')
+		for shift := 56; shift >= 0; shift -= 8 {
+			dst = append(dst, byte(bits>>uint(shift)))
+		}
+		return dst
+	default: // KindString
+		dst = append(dst, 's')
+		n := len(v.s)
+		dst = append(dst, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+		return append(dst, v.s...)
+	}
+}

@@ -1,0 +1,151 @@
+package view
+
+import (
+	"math/rand"
+	"testing"
+
+	"expdb/internal/algebra"
+	"expdb/internal/relation"
+	"expdb/internal/tuple"
+	"expdb/internal/xtime"
+)
+
+// budgetDiff builds a difference with exactly three critical tuples
+// appearing at times 4, 6 and 8.
+func budgetDiff(t *testing.T) *algebra.Diff {
+	t.Helper()
+	r := relation.New(tuple.IntCols("v"))
+	s := relation.New(tuple.IntCols("v"))
+	r.MustInsertInts(20, 1)
+	s.MustInsertInts(4, 1)
+	r.MustInsertInts(20, 2)
+	s.MustInsertInts(6, 2)
+	r.MustInsertInts(20, 3)
+	s.MustInsertInts(8, 3)
+	r.MustInsertInts(20, 9) // never in S: plain result tuple
+	d, err := algebra.NewDiff(algebra.NewBase("R", r), algebra.NewBase("S", s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPatchBudgetTruncatesQueue(t *testing.T) {
+	v, err := New("b", budgetDiff(t), WithPatchBudget(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Materialize(0); err != nil {
+		t.Fatal(err)
+	}
+	if v.PendingPatches() != 2 {
+		t.Fatalf("pending = %d, want 2", v.PendingPatches())
+	}
+	// Patchable through the first two events; invalid at the third (8).
+	if v.Texp() != 8 {
+		t.Fatalf("texp = %v, want 8 (first unqueued critical event)", v.Texp())
+	}
+}
+
+func TestPatchBudgetStillCorrect(t *testing.T) {
+	d := budgetDiff(t)
+	v, err := New("b", d, WithPatchBudget(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Materialize(0); err != nil {
+		t.Fatal(err)
+	}
+	recomputed := 0
+	for tau := xtime.Time(0); tau <= 22; tau++ {
+		rel, info, err := v.Read(tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Source == SourceRecomputed {
+			recomputed++
+		}
+		fresh, err := d.Eval(tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fresh.EqualAt(rel, tau) {
+			t.Fatalf("budgeted view diverges at %v:\nview:\n%s\nfresh:\n%s",
+				tau, rel.Render(tau), fresh.Render(tau))
+		}
+	}
+	if recomputed == 0 {
+		t.Fatal("exhausted budget must force at least one recomputation")
+	}
+	if recomputed > 2 {
+		t.Fatalf("recomputed %d times; budget 2 of 3 events needs at most 1-2", recomputed)
+	}
+}
+
+func TestUnlimitedBudgetNeverRecomputes(t *testing.T) {
+	d := budgetDiff(t)
+	v, err := New("b", d, WithPatching())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Materialize(0); err != nil {
+		t.Fatal(err)
+	}
+	for tau := xtime.Time(0); tau <= 22; tau++ {
+		if _, info, err := v.Read(tau); err != nil || info.Source != SourceMaterialised {
+			t.Fatalf("at %v: %v %v", tau, info, err)
+		}
+	}
+	if v.Stats().Recomputations != 0 {
+		t.Fatalf("stats: %+v", v.Stats())
+	}
+}
+
+func TestPatchBudgetValidation(t *testing.T) {
+	if _, err := New("b", budgetDiff(t), WithPatchBudget(0)); err == nil {
+		t.Error("zero budget accepted")
+	}
+	polR := relation.New(tuple.IntCols("v"))
+	if _, err := New("b", algebra.NewBase("R", polR), WithPatchBudget(1)); err == nil {
+		t.Error("budgeted patching accepted for non-difference root")
+	}
+}
+
+// TestPatchBudgetRandom: for random data and budgets, budgeted views stay
+// correct and never recompute more than (critical events / budget) times.
+func TestPatchBudgetRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		r := relation.New(tuple.IntCols("v"))
+		s := relation.New(tuple.IntCols("v"))
+		for i := 0; i < 20; i++ {
+			r.MustInsertInts(xtime.Time(1+rng.Intn(30)), int64(rng.Intn(12)))
+			s.MustInsertInts(xtime.Time(1+rng.Intn(30)), int64(rng.Intn(12)))
+		}
+		d, err := algebra.NewDiff(algebra.NewBase("R", r), algebra.NewBase("S", s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget := 1 + rng.Intn(4)
+		v, err := New("b", d, WithPatchBudget(budget))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Materialize(0); err != nil {
+			t.Fatal(err)
+		}
+		for tau := xtime.Time(0); tau <= 32; tau++ {
+			rel, _, err := v.Read(tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := d.Eval(tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fresh.EqualAt(rel, tau) {
+				t.Fatalf("trial %d budget %d: diverges at %v", trial, budget, tau)
+			}
+		}
+	}
+}

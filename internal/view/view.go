@@ -1,0 +1,398 @@
+// Package view implements materialised query results that are maintained
+// independently of their base relations — the paper's central use case
+// (§1): once computed, a result should stay in synchrony with the
+// database by looking only at its own expiration times, recomputing (or
+// patching) only when the expression invalidates.
+//
+// A View tracks the materialisation, its expression expiration time
+// texp(e), its Schrödinger validity intervals I(e) (§3.3–3.4), and — for
+// difference expressions — the Theorem 3 patch queue that removes the
+// need for recomputation entirely.
+package view
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"expdb/internal/algebra"
+	"expdb/internal/interval"
+	"expdb/internal/pqueue"
+	"expdb/internal/relation"
+	"expdb/internal/tuple"
+	"expdb/internal/xtime"
+)
+
+// ErrInvalid is returned by Read when the materialisation is invalid at
+// the requested time and the view's recovery policy is RecoverReject.
+var ErrInvalid = errors.New("view: materialisation invalid at requested time")
+
+// ReadMode selects which validity notion gates reads from the
+// materialisation.
+type ReadMode uint8
+
+const (
+	// ModeTexp serves from the materialisation while τ < texp(e): the
+	// single-expiration-time model of §2.
+	ModeTexp ReadMode = iota
+	// ModeInterval serves from the materialisation whenever τ lies in the
+	// validity intervals I(e): the Schrödinger semantics of §3.3–3.4,
+	// which recovers the periods after critical tuples have expired.
+	ModeInterval
+	// ModeAlwaysRecompute never serves from the materialisation. It
+	// models the TTL-only baseline (expiring base data, views recomputed
+	// on every read) that engines without algebraic expiration
+	// propagation are limited to.
+	ModeAlwaysRecompute
+)
+
+// String names the mode.
+func (m ReadMode) String() string {
+	switch m {
+	case ModeTexp:
+		return "texp"
+	case ModeInterval:
+		return "interval"
+	default:
+		return "always-recompute"
+	}
+}
+
+// Recovery selects what Read does when the materialisation is invalid at
+// the requested time.
+type Recovery uint8
+
+const (
+	// RecoverRecompute re-materialises the expression at the requested
+	// time (§3.1's default option).
+	RecoverRecompute Recovery = iota
+	// RecoverReject returns ErrInvalid, leaving the decision to the
+	// caller — the behaviour of a disconnected node that cannot reach the
+	// base data.
+	RecoverReject
+	// RecoverBackward answers from the most recent past instant at which
+	// the materialisation was valid ("moving the query backward in time",
+	// §3.3: a slightly outdated result). Requires ModeInterval.
+	RecoverBackward
+	// RecoverForward answers as of the next future instant at which the
+	// materialisation becomes valid again ("delaying the query", §3.3).
+	// Requires ModeInterval.
+	RecoverForward
+)
+
+// String names the recovery policy.
+func (r Recovery) String() string {
+	switch r {
+	case RecoverRecompute:
+		return "recompute"
+	case RecoverReject:
+		return "reject"
+	case RecoverBackward:
+		return "backward"
+	default:
+		return "forward"
+	}
+}
+
+// Source says where a Read result came from.
+type Source uint8
+
+const (
+	// SourceMaterialised: served from the maintained materialisation.
+	SourceMaterialised Source = iota
+	// SourceRecomputed: the expression was re-evaluated against base data.
+	SourceRecomputed
+	// SourceMovedBackward / SourceMovedForward: served from the
+	// materialisation at a shifted instant (§3.3).
+	SourceMovedBackward
+	SourceMovedForward
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SourceMaterialised:
+		return "materialised"
+	case SourceRecomputed:
+		return "recomputed"
+	case SourceMovedBackward:
+		return "moved-backward"
+	default:
+		return "moved-forward"
+	}
+}
+
+// ReadInfo describes how a read was answered.
+type ReadInfo struct {
+	Source Source
+	// At is the instant the answer reflects; differs from the requested
+	// time only for the moved policies.
+	At xtime.Time
+}
+
+// Stats accumulates maintenance counters, the currency experiments E6/E8
+// report.
+type Stats struct {
+	Reads          int // total Read calls
+	ServedFromMat  int // answered without touching base data
+	Recomputations int // full re-evaluations of the expression
+	PatchesApplied int // Theorem 3 patches replayed into the materialisation
+	Moved          int // reads answered at a shifted instant
+}
+
+// patch is one pending Theorem 3 insertion.
+type patch struct {
+	tuple tuple.Tuple
+	inR   xtime.Time
+}
+
+// View is a materialised expression with independent maintenance.
+type View struct {
+	name     string
+	expr     algebra.Expr
+	mode     ReadMode
+	recovery Recovery
+	patching bool
+
+	mat      *relation.Relation
+	matAt    xtime.Time
+	texp     xtime.Time // texp(e) as of matAt; patched diffs use child texp only
+	validity interval.Set
+	queue    *pqueue.Queue[patch]
+	budget   int // max queued patches; 0 = unlimited (§3.4.2 trade-off)
+	stats    Stats
+}
+
+// Option configures a View.
+type Option func(*View) error
+
+// WithMode sets the read mode (default ModeTexp).
+func WithMode(m ReadMode) Option {
+	return func(v *View) error {
+		v.mode = m
+		return nil
+	}
+}
+
+// WithRecovery sets the recovery policy (default RecoverRecompute).
+func WithRecovery(r Recovery) Option {
+	return func(v *View) error {
+		if (r == RecoverBackward || r == RecoverForward) && v.mode != ModeInterval {
+			return fmt.Errorf("view %s: recovery %s requires ModeInterval", v.name, r)
+		}
+		v.recovery = r
+		return nil
+	}
+}
+
+// WithPatching enables the Theorem 3 patch queue. The expression's root
+// must be a difference whose arguments are monotonic; patching then makes
+// the materialisation permanently maintainable (its expiration time
+// becomes that of the arguments, ∞ over base relations).
+func WithPatching() Option {
+	return func(v *View) error {
+		d, ok := v.expr.(*algebra.Diff)
+		if !ok {
+			return fmt.Errorf("view %s: patching requires a difference at the root, have %s",
+				v.name, v.expr)
+		}
+		if !d.Left.Monotonic() || !d.Right.Monotonic() {
+			return fmt.Errorf("view %s: patching requires monotonic difference arguments", v.name)
+		}
+		v.patching = true
+		return nil
+	}
+}
+
+// WithPatchBudget bounds the Theorem 3 patch queue to the k critical
+// tuples expiring soonest — the §3.4.2 "classic trade-off decision
+// between saving future communication and time/space as well as up-front
+// communication cost". With a bounded queue the materialisation stays
+// patchable until the first unqueued critical event, at which point the
+// usual recovery policy applies. Implies WithPatching's requirements.
+func WithPatchBudget(k int) Option {
+	return func(v *View) error {
+		if k <= 0 {
+			return fmt.Errorf("view %s: patch budget must be positive", v.name)
+		}
+		if err := WithPatching()(v); err != nil {
+			return err
+		}
+		v.budget = k
+		return nil
+	}
+}
+
+// New builds a view over expr. Call Materialize before Read.
+func New(name string, expr algebra.Expr, opts ...Option) (*View, error) {
+	v := &View{name: name, expr: expr}
+	for _, opt := range opts {
+		if err := opt(v); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// Name returns the view's name.
+func (v *View) Name() string { return v.name }
+
+// Expr returns the view's expression.
+func (v *View) Expr() algebra.Expr { return v.expr }
+
+// Materialize (re)computes the view at time tau, refreshing texp(e), the
+// validity intervals and, if enabled, the patch queue.
+func (v *View) Materialize(tau xtime.Time) error {
+	mat, err := v.expr.Eval(tau)
+	if err != nil {
+		return err
+	}
+	v.mat = mat
+	v.matAt = tau
+	if v.patching {
+		d := v.expr.(*algebra.Diff)
+		// Only critical tuples (reappearing before they vanish) need
+		// patches; the rest of the helper relation would insert tuples
+		// that are born expired.
+		crit, err := d.CriticalSet(tau)
+		if err != nil {
+			return err
+		}
+		// Theorem 3: with patches the critical-tuple term of (11)
+		// vanishes; only the arguments' own expiration remains…
+		texpL, err := d.Left.ExprTexp(tau)
+		if err != nil {
+			return err
+		}
+		texpR, err := d.Right.ExprTexp(tau)
+		if err != nil {
+			return err
+		}
+		v.texp = xtime.Min(texpL, texpR)
+		// …unless a budget bounds the queue (§3.4.2): then the
+		// materialisation is only patchable up to the first critical
+		// event that did not fit.
+		if v.budget > 0 && len(crit) > v.budget {
+			sort.Slice(crit, func(i, j int) bool { return crit[i].InS < crit[j].InS })
+			v.texp = xtime.Min(v.texp, crit[v.budget].InS)
+			crit = crit[:v.budget]
+		}
+		v.queue = pqueue.New[patch](len(crit))
+		for _, h := range crit {
+			v.queue.Push(h.InS, patch{tuple: h.Tuple, inR: h.InR})
+		}
+		v.validity = interval.NewSet(interval.Interval{Start: tau, End: v.texp})
+		return nil
+	}
+	texp, err := v.expr.ExprTexp(tau)
+	if err != nil {
+		return err
+	}
+	v.texp = texp
+	if v.mode == ModeInterval {
+		val, err := v.expr.Validity(tau)
+		if err != nil {
+			return err
+		}
+		v.validity = val
+	} else {
+		v.validity = interval.NewSet(interval.Interval{Start: tau, End: texp})
+	}
+	return nil
+}
+
+// Texp returns texp(e) for the current materialisation.
+func (v *View) Texp() xtime.Time { return v.texp }
+
+// MaterializedAt returns the time of the current materialisation.
+func (v *View) MaterializedAt() xtime.Time { return v.matAt }
+
+// Validity returns the validity intervals of the current materialisation.
+func (v *View) Validity() interval.Set { return v.validity }
+
+// Stats returns the maintenance counters so far.
+func (v *View) Stats() Stats { return v.stats }
+
+// PendingPatches returns the number of queued Theorem 3 patches.
+func (v *View) PendingPatches() int {
+	if v.queue == nil {
+		return 0
+	}
+	return v.queue.Len()
+}
+
+// applyPatches replays every due patch (helper tuple expired in S) into
+// the materialisation.
+func (v *View) applyPatches(tau xtime.Time) {
+	if v.queue == nil {
+		return
+	}
+	for _, it := range v.queue.PopDue(tau) {
+		v.mat.Insert(it.Value.tuple, it.Value.inR)
+		v.stats.PatchesApplied++
+	}
+}
+
+// valid reports whether the materialisation may answer a read at tau
+// without recovery.
+func (v *View) valid(tau xtime.Time) bool {
+	if tau < v.matAt {
+		return false
+	}
+	switch v.mode {
+	case ModeAlwaysRecompute:
+		return false
+	default:
+		return v.validity.Contains(tau)
+	}
+}
+
+// Read answers a query against the view at time tau: a snapshot of the
+// result (per-tuple expiration applied) plus how it was obtained. Expired
+// tuples never escape — the paper's requirement that expiration is
+// transparent to querying users.
+func (v *View) Read(tau xtime.Time) (*relation.Relation, ReadInfo, error) {
+	if v.mat == nil {
+		return nil, ReadInfo{}, fmt.Errorf("view %s: not materialised", v.name)
+	}
+	v.stats.Reads++
+	v.applyPatches(tau)
+	if v.valid(tau) {
+		v.stats.ServedFromMat++
+		return v.mat.Snapshot(tau), ReadInfo{Source: SourceMaterialised, At: tau}, nil
+	}
+	switch v.recovery {
+	case RecoverReject:
+		return nil, ReadInfo{}, fmt.Errorf("%w: %s at %v (valid %s)", ErrInvalid, v.name, tau, v.validity)
+	case RecoverBackward:
+		if at, ok := v.validity.PrevIn(tau); ok && at >= v.matAt {
+			v.stats.Moved++
+			return v.mat.Snapshot(at), ReadInfo{Source: SourceMovedBackward, At: at}, nil
+		}
+	case RecoverForward:
+		if at, ok := v.validity.NextIn(tau); ok {
+			v.stats.Moved++
+			return v.mat.Snapshot(at), ReadInfo{Source: SourceMovedForward, At: at}, nil
+		}
+	}
+	// RecoverRecompute, or a moved policy with nowhere to move: fall back
+	// to re-materialising.
+	if err := v.Materialize(tau); err != nil {
+		return nil, ReadInfo{}, err
+	}
+	v.stats.Recomputations++
+	return v.mat.Snapshot(tau), ReadInfo{Source: SourceRecomputed, At: tau}, nil
+}
+
+// NeedsRecomputation reports whether a read at tau could not be served
+// from the materialisation.
+func (v *View) NeedsRecomputation(tau xtime.Time) bool {
+	if v.mat == nil {
+		return true
+	}
+	if v.queue != nil && v.queue.NextAt() <= tau {
+		// Due patches pending; after applying them the view is valid.
+		return false
+	}
+	return !v.valid(tau)
+}

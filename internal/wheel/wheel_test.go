@@ -1,0 +1,155 @@
+package wheel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"expdb/internal/xtime"
+)
+
+func TestDeliversAtExactTick(t *testing.T) {
+	w := New[string](0)
+	w.Schedule(5, "a")
+	if got := w.Advance(4); len(got) != 0 {
+		t.Fatalf("delivered early: %v", got)
+	}
+	got := w.Advance(5)
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Advance(5) = %v, want [a]", got)
+	}
+	if w.Len() != 0 {
+		t.Errorf("Len = %d", w.Len())
+	}
+}
+
+func TestScheduleInPastDeliversNext(t *testing.T) {
+	w := New[int](10)
+	w.Schedule(3, 1) // in the past: deliver on next tick
+	got := w.Advance(11)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Advance = %v", got)
+	}
+}
+
+func TestInfinityNeverDelivered(t *testing.T) {
+	w := New[int](0)
+	w.Schedule(xtime.Infinity, 1)
+	if w.Len() != 0 {
+		t.Fatal("Infinity must not be scheduled")
+	}
+	if got := w.Advance(1000); len(got) != 0 {
+		t.Fatalf("delivered %v", got)
+	}
+}
+
+func TestFarFutureCascades(t *testing.T) {
+	w := New[int](0)
+	// Beyond level 0 (64 ticks) and level 1 (4096 ticks).
+	w.Schedule(100000, 7)
+	if got := w.Advance(99999); len(got) != 0 {
+		t.Fatalf("early delivery: %v", got)
+	}
+	got := w.Advance(100000)
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("Advance(100000) = %v", got)
+	}
+}
+
+func TestManyRandomDeliveredExactlyOnceInOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := New[int](0)
+	const n = 2000
+	at := make([]xtime.Time, n)
+	for i := 0; i < n; i++ {
+		at[i] = xtime.Time(1 + rng.Intn(50000))
+		w.Schedule(at[i], i)
+	}
+	delivered := map[int]xtime.Time{}
+	for now := xtime.Time(0); now < 50001; now += xtime.Time(1 + rng.Intn(500)) {
+		for _, id := range w.Advance(now) {
+			if _, dup := delivered[id]; dup {
+				t.Fatalf("item %d delivered twice", id)
+			}
+			if at[id] > now {
+				t.Fatalf("item %d due %v delivered at %v (early)", id, at[id], now)
+			}
+			delivered[id] = now
+		}
+	}
+	w.Advance(60000)
+	if w.Len() != 0 {
+		t.Fatalf("%d items never delivered", w.Len())
+	}
+}
+
+func TestAdvanceBackwardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w := New[int](10)
+	w.Advance(5)
+}
+
+func TestNextAfter(t *testing.T) {
+	w := New[int](0)
+	if w.NextAfter() != xtime.Infinity {
+		t.Error("empty wheel NextAfter must be Infinity")
+	}
+	w.Schedule(100, 1)
+	w.Schedule(7, 2)
+	w.Schedule(5000, 3)
+	if got := w.NextAfter(); got != 7 {
+		t.Errorf("NextAfter = %v, want 7", got)
+	}
+	w.Advance(7)
+	if got := w.NextAfter(); got != 100 {
+		t.Errorf("NextAfter = %v, want 100", got)
+	}
+}
+
+func TestAgainstReferenceModel(t *testing.T) {
+	// Drive the wheel and a sorted-slice reference with the same random
+	// schedule; deliveries per Advance must match as multisets.
+	rng := rand.New(rand.NewSource(99))
+	w := New[int](0)
+	type ref struct {
+		at xtime.Time
+		id int
+	}
+	var model []ref
+	id := 0
+	now := xtime.Time(0)
+	for step := 0; step < 200; step++ {
+		for k := 0; k < rng.Intn(10); k++ {
+			at := now + xtime.Time(1+rng.Intn(1000))
+			w.Schedule(at, id)
+			model = append(model, ref{at, id})
+			id++
+		}
+		now += xtime.Time(rng.Intn(100))
+		got := w.Advance(now)
+		var want []int
+		var rest []ref
+		for _, r := range model {
+			if r.at <= now {
+				want = append(want, r.id)
+			} else {
+				rest = append(rest, r)
+			}
+		}
+		model = rest
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("step %d: delivered %d, want %d", step, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("step %d: delivery mismatch", step)
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+
+	"expdb/internal/pqueue"
+	"expdb/internal/relation"
+	"expdb/internal/tuple"
+	"expdb/internal/xtime"
+)
+
+// Client is a remote view node: it materialises a query once and then
+// answers reads from its local copy, maintained purely by expiration (and
+// by replaying shipped Theorem 3 patches). It contacts the server again
+// only to re-materialise an invalidated copy.
+type Client struct {
+	conn  net.Conn
+	cr    *countingReader
+	cw    *countingWriter
+	dec   *gob.Decoder
+	enc   *gob.Encoder
+	stats Stats
+
+	query       string
+	wantPatches bool
+	patchBudget int
+	mat         *relation.Relation
+	matAt       xtime.Time
+	texp        xtime.Time
+	patches     *pqueue.Queue[patchItem]
+
+	// Maintenance counters for experiments.
+	Rematerializations int
+	LocalReads         int
+	PatchesApplied     int
+}
+
+type patchItem struct {
+	tuple tuple.Tuple
+	inR   xtime.Time
+}
+
+// Dial connects to a wire server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn}
+	c.cr = &countingReader{r: conn}
+	c.cw = &countingWriter{w: conn}
+	c.dec = gob.NewDecoder(c.cr)
+	c.enc = gob.NewEncoder(c.cw)
+	return c, nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error {
+	_ = c.send(&Request{Kind: MsgClose})
+	return c.conn.Close()
+}
+
+// Stats returns the client-side traffic counters.
+func (c *Client) Stats() Stats {
+	c.stats.BytesSent = c.cw.n
+	c.stats.BytesReceived = c.cr.n
+	return c.stats
+}
+
+func (c *Client) send(req *Request) error {
+	if err := c.enc.Encode(req); err != nil {
+		return err
+	}
+	c.stats.MessagesSent++
+	return nil
+}
+
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	if err := c.send(req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	c.stats.MessagesReceived++
+	if resp.Err != "" {
+		return nil, fmt.Errorf("wire: server: %s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// ServerTime fetches the server's current tick.
+func (c *Client) ServerTime() (xtime.Time, error) {
+	resp, err := c.roundTrip(&Request{Kind: MsgTime})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Now, nil
+}
+
+// Materialize fetches the query result and its expiration metadata.
+// withPatches additionally ships the Theorem 3 helper for difference
+// queries, making the local copy maintainable without recomputation.
+func (c *Client) Materialize(query string, withPatches bool) error {
+	return c.MaterializeBudget(query, withPatches, 0)
+}
+
+// MaterializeBudget is Materialize with a bound on the number of patches
+// shipped (0 = unlimited) — the §3.4.2 trade-off between up-front bytes
+// and future re-fetches. When the budget is exhausted the local copy
+// invalidates at the first unshipped critical event and Read re-fetches.
+func (c *Client) MaterializeBudget(query string, withPatches bool, budget int) error {
+	c.query, c.wantPatches, c.patchBudget = query, withPatches, budget
+	resp, err := c.roundTrip(&Request{Kind: MsgMaterialize, Query: query,
+		WantPatches: withPatches, PatchBudget: budget})
+	if err != nil {
+		return err
+	}
+	cols := make([]tuple.Column, len(resp.Cols))
+	for i, wc := range resp.Cols {
+		cols[i] = tuple.Column{Name: wc.Name, Kind: wc.Kind}
+	}
+	rel := relation.New(tuple.Schema{Cols: cols})
+	for _, wr := range resp.Rows {
+		t := make(tuple.Tuple, len(wr.Vals))
+		for i, wv := range wr.Vals {
+			t[i] = wv.FromWire()
+		}
+		rel.Insert(t, wr.Texp)
+	}
+	c.mat = rel
+	c.matAt = resp.Now
+	c.texp = resp.Texp
+	c.patches = pqueue.New[patchItem](len(resp.Patches))
+	for _, wp := range resp.Patches {
+		t := make(tuple.Tuple, len(wp.Vals))
+		for i, wv := range wp.Vals {
+			t[i] = wv.FromWire()
+		}
+		c.patches.Push(wp.InS, patchItem{tuple: t, inR: wp.InR})
+	}
+	return nil
+}
+
+// Texp returns the expiration time of the local materialisation.
+func (c *Client) Texp() xtime.Time { return c.texp }
+
+// Read answers a query at tick tau from the local copy, re-materialising
+// over the network only when the copy is invalid.
+func (c *Client) Read(tau xtime.Time) (*relation.Relation, error) {
+	if c.mat == nil {
+		return nil, fmt.Errorf("wire: client has no materialisation")
+	}
+	for _, it := range c.patches.PopDue(tau) {
+		c.mat.Insert(it.Value.tuple, it.Value.inR)
+		c.PatchesApplied++
+	}
+	if tau >= c.texp || tau < c.matAt {
+		if err := c.MaterializeBudget(c.query, c.wantPatches, c.patchBudget); err != nil {
+			return nil, err
+		}
+		c.Rematerializations++
+	} else {
+		c.LocalReads++
+	}
+	return c.mat.Snapshot(tau), nil
+}

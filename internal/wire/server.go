@@ -1,0 +1,196 @@
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sort"
+	"sync"
+
+	"expdb/internal/engine"
+	"expdb/internal/sql"
+	"expdb/internal/xtime"
+)
+
+// Server exposes an engine's relations to remote view nodes.
+type Server struct {
+	eng *engine.Engine
+	ln  net.Listener
+
+	mu      sync.Mutex
+	stats   Stats
+	closed  bool
+	pending sync.WaitGroup
+}
+
+// NewServer wraps eng; call Serve with a listener to start.
+func NewServer(eng *engine.Engine) *Server { return &Server{eng: eng} }
+
+// Listen starts accepting on addr (e.g. "127.0.0.1:0") in a background
+// goroutine and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.pending.Wait()
+	return err
+}
+
+// Stats returns the server-side traffic counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.pending.Add(1)
+		go func() {
+			defer s.pending.Done()
+			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+				log.Printf("wire: connection error: %v", err)
+			}
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) error {
+	defer conn.Close()
+	cr := &countingReader{r: conn}
+	cw := &countingWriter{w: conn}
+	dec := gob.NewDecoder(cr)
+	enc := gob.NewEncoder(cw)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.stats.MessagesReceived++
+		s.stats.BytesReceived = cr.n
+		s.mu.Unlock()
+		if req.Kind == MsgClose {
+			return nil
+		}
+		resp := s.respond(&req)
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.stats.MessagesSent++
+		s.stats.BytesSent = cw.n
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) respond(req *Request) *Response {
+	resp := &Response{Now: s.eng.Now()}
+	switch req.Kind {
+	case MsgTime:
+		return resp
+	case MsgMaterialize:
+		sess := sql.NewSession(s.eng, nil)
+		expr, err := sess.PlanQuery(req.Query)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		// MaterializeExpr holds the engine lock, so the rows, texp(e) and
+		// helper are one consistent snapshot even while the server's
+		// clock advances concurrently.
+		rel, texp, helper, now, err := s.eng.MaterializeExpr(expr, req.WantPatches)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Now = now
+		for _, c := range rel.Schema().Cols {
+			resp.Cols = append(resp.Cols, WireColumn{Name: c.Name, Kind: c.Kind})
+		}
+		for _, row := range rel.Rows(now) {
+			wr := WireRow{Texp: row.Texp, Vals: make([]WireValue, len(row.Tuple))}
+			for i, v := range row.Tuple {
+				wr.Vals[i] = ToWire(v)
+			}
+			resp.Rows = append(resp.Rows, wr)
+		}
+		resp.Texp = texp
+		// Ship only critical helper rows (those that will actually
+		// reappear), soonest first; a patch budget truncates the queue
+		// and pulls Texp back to the first event that did not fit
+		// (§3.4.2).
+		crit := helper[:0:0]
+		for _, h := range helper {
+			if h.InR > h.InS {
+				crit = append(crit, h)
+			}
+		}
+		sort.Slice(crit, func(i, j int) bool { return crit[i].InS < crit[j].InS })
+		if req.PatchBudget > 0 && len(crit) > req.PatchBudget {
+			resp.Texp = minTime(resp.Texp, crit[req.PatchBudget].InS)
+			crit = crit[:req.PatchBudget]
+		}
+		for _, h := range crit {
+			wp := WirePatch{InS: h.InS, InR: h.InR, Vals: make([]WireValue, len(h.Tuple))}
+			for i, v := range h.Tuple {
+				wp.Vals[i] = ToWire(v)
+			}
+			resp.Patches = append(resp.Patches, wp)
+		}
+		return resp
+	default:
+		resp.Err = "wire: unknown request kind"
+		return resp
+	}
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func minTime(a, b xtime.Time) xtime.Time {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,142 @@
+// Package wire implements the loosely-coupled deployment the paper's
+// introduction motivates: a server hosts the base relations; remote nodes
+// materialise query results once and then maintain them *independently*,
+// using only the expiration times carried by the result tuples. The
+// network is touched again only when a materialisation invalidates —
+// or never, when the Theorem 3 patch queue was shipped along with a
+// difference query.
+//
+// The protocol is a length-free gob stream over TCP. Traffic accounting
+// (messages and bytes in both directions) feeds experiment E6: the cost of
+// recompute-on-invalid versus patch-ahead versus the TTL-only baseline
+// that re-fetches on every read.
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"expdb/internal/value"
+	"expdb/internal/xtime"
+)
+
+// MsgKind tags protocol messages.
+type MsgKind uint8
+
+const (
+	// MsgMaterialize asks the server to evaluate a query and return the
+	// materialisation with its expiration metadata.
+	MsgMaterialize MsgKind = iota
+	// MsgTime asks for the server's current tick (loosely-coupled nodes
+	// re-synchronise coarsely, not per-operation).
+	MsgTime
+	// MsgClose ends the session.
+	MsgClose
+)
+
+// Request is a client → server message.
+type Request struct {
+	Kind  MsgKind
+	Query string // MsgMaterialize: a SELECT statement
+	// WantPatches asks for the Theorem 3 helper relation when the query's
+	// root is a difference, enabling recomputation-free maintenance.
+	WantPatches bool
+	// PatchBudget bounds the number of patches shipped (0 = unlimited):
+	// the §3.4.2 trade-off between up-front transfer and future
+	// communication. With a bounded queue the reported Texp shrinks to
+	// the first critical event that did not fit.
+	PatchBudget int
+}
+
+// WireValue is the transport form of a scalar value.
+type WireValue struct {
+	Kind value.Kind
+	I    int64
+	F    float64
+	S    string
+}
+
+// ToWire converts a value for transport.
+func ToWire(v value.Value) WireValue {
+	switch v.Kind() {
+	case value.KindInt:
+		return WireValue{Kind: value.KindInt, I: v.AsInt()}
+	case value.KindFloat:
+		return WireValue{Kind: value.KindFloat, F: v.AsFloat()}
+	case value.KindString:
+		return WireValue{Kind: value.KindString, S: v.AsString()}
+	case value.KindBool:
+		b := int64(0)
+		if v.AsBool() {
+			b = 1
+		}
+		return WireValue{Kind: value.KindBool, I: b}
+	default:
+		return WireValue{Kind: value.KindNull}
+	}
+}
+
+// FromWire converts a transported value back.
+func (w WireValue) FromWire() value.Value {
+	switch w.Kind {
+	case value.KindInt:
+		return value.Int(w.I)
+	case value.KindFloat:
+		return value.Float(w.F)
+	case value.KindString:
+		return value.String_(w.S)
+	case value.KindBool:
+		return value.Bool(w.I != 0)
+	default:
+		return value.Null
+	}
+}
+
+// WireRow is one result tuple with its expiration time.
+type WireRow struct {
+	Vals []WireValue
+	Texp xtime.Time
+}
+
+// WireColumn describes one schema column.
+type WireColumn struct {
+	Name string
+	Kind value.Kind
+}
+
+// WirePatch is one Theorem 3 patch: insert Vals with expiration InR once
+// the server tick reaches InS.
+type WirePatch struct {
+	Vals []WireValue
+	InS  xtime.Time
+	InR  xtime.Time
+}
+
+// Response is a server → client message.
+type Response struct {
+	Err     string // non-empty on failure
+	Now     xtime.Time
+	Cols    []WireColumn
+	Rows    []WireRow
+	Texp    xtime.Time // texp(e) of the materialisation
+	Patches []WirePatch
+}
+
+func init() {
+	gob.Register(Request{})
+	gob.Register(Response{})
+}
+
+// Stats counts protocol traffic for one endpoint.
+type Stats struct {
+	MessagesSent     int
+	MessagesReceived int
+	BytesSent        int64
+	BytesReceived    int64
+}
+
+// String renders the counters compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("msgs out/in %d/%d, bytes out/in %d/%d",
+		s.MessagesSent, s.MessagesReceived, s.BytesSent, s.BytesReceived)
+}

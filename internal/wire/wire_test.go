@@ -1,0 +1,290 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"expdb/internal/engine"
+	"expdb/internal/sql"
+	"expdb/internal/tuple"
+	"expdb/internal/value"
+	"expdb/internal/xtime"
+)
+
+// startServer loads the Figure 1 database and serves it on a loopback
+// port.
+func startServer(t *testing.T) (*engine.Engine, *Server, string) {
+	t.Helper()
+	eng := engine.New()
+	sess := sql.NewSession(eng, nil)
+	script := `
+		CREATE TABLE pol (uid INT, deg INT);
+		CREATE TABLE el  (uid INT, deg INT);
+		INSERT INTO pol VALUES (1, 25) EXPIRES AT 10;
+		INSERT INTO pol VALUES (2, 25) EXPIRES AT 15;
+		INSERT INTO pol VALUES (3, 35) EXPIRES AT 10;
+		INSERT INTO el VALUES (1, 75) EXPIRES AT 5;
+		INSERT INTO el VALUES (2, 85) EXPIRES AT 3;
+		INSERT INTO el VALUES (4, 90) EXPIRES AT 2;
+	`
+	if _, err := sess.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(eng)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return eng, srv, addr
+}
+
+func TestMaterializeAndLocalReads(t *testing.T) {
+	eng, _, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Materialize("SELECT pol.uid, pol.deg FROM pol JOIN el ON pol.uid = el.uid", false); err != nil {
+		t.Fatal(err)
+	}
+	if c.Texp() != xtime.Infinity {
+		t.Fatalf("texp = %v, want ∞ (monotonic query)", c.Texp())
+	}
+	// The remote copy tracks server-side expiration with zero traffic.
+	for tau := xtime.Time(0); tau <= 20; tau++ {
+		if err := eng.Advance(tau); err != nil {
+			t.Fatal(err)
+		}
+		rel, err := c.Read(tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2
+		if tau >= 3 {
+			want = 1
+		}
+		if tau >= 5 {
+			want = 0
+		}
+		if got := rel.CountAt(tau); got != want {
+			t.Fatalf("at %v: %d rows, want %d", tau, got, want)
+		}
+	}
+	if c.Rematerializations != 0 {
+		t.Fatalf("monotonic view re-fetched %d times", c.Rematerializations)
+	}
+	if s := c.Stats(); s.MessagesSent != 1 {
+		t.Fatalf("traffic: %s (want a single materialise message)", s)
+	}
+}
+
+func TestRemoteDiffRecomputeOnInvalid(t *testing.T) {
+	eng, _, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Materialize("SELECT uid FROM pol EXCEPT SELECT uid FROM el", false); err != nil {
+		t.Fatal(err)
+	}
+	if c.Texp() != 3 {
+		t.Fatalf("texp = %v, want 3", c.Texp())
+	}
+	for tau := xtime.Time(0); tau <= 16; tau++ {
+		if err := eng.Advance(tau); err != nil {
+			t.Fatal(err)
+		}
+		rel, err := c.Read(tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare with a direct evaluation on the server engine.
+		sess := sql.NewSession(eng, nil)
+		expr, err := sess.PlanQuery("SELECT uid FROM pol EXCEPT SELECT uid FROM el")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := expr.Eval(tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fresh.SameTuplesAt(rel, tau) {
+			t.Fatalf("remote copy diverges at %v:\nremote:\n%s\nserver:\n%s",
+				tau, rel.Render(tau), fresh.Render(tau))
+		}
+	}
+	if c.Rematerializations == 0 {
+		t.Fatal("difference view without patches must re-fetch at least once")
+	}
+}
+
+func TestRemoteDiffWithPatchesNeverRefetches(t *testing.T) {
+	eng, _, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Materialize("SELECT uid FROM pol EXCEPT SELECT uid FROM el", true); err != nil {
+		t.Fatal(err)
+	}
+	if c.Texp() != xtime.Infinity {
+		t.Fatalf("texp with patches = %v, want ∞ (Theorem 3)", c.Texp())
+	}
+	for tau := xtime.Time(0); tau <= 20; tau++ {
+		if err := eng.Advance(tau); err != nil {
+			t.Fatal(err)
+		}
+		rel, err := c.Read(tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, uid := range expectedDiff(tau) {
+			if !rel.Contains(tuple.Ints(uid), tau) {
+				t.Fatalf("at %v: uid %d missing:\n%s", tau, uid, rel.Render(tau))
+			}
+		}
+	}
+	if c.Rematerializations != 0 {
+		t.Fatalf("patched client re-fetched %d times", c.Rematerializations)
+	}
+	if c.PatchesApplied != 2 {
+		t.Fatalf("patches applied = %d, want 2", c.PatchesApplied)
+	}
+	if s := c.Stats(); s.MessagesSent != 1 {
+		t.Fatalf("traffic: %s", s)
+	}
+}
+
+// expectedDiff returns the UIDs of π1(Pol) − π1(El) at tau per Figure 3.
+func expectedDiff(tau xtime.Time) []int64 {
+	var uids []int64
+	if tau < 10 {
+		uids = append(uids, 3)
+	}
+	if tau >= 3 && tau < 15 {
+		uids = append(uids, 2)
+	}
+	if tau >= 5 && tau < 10 {
+		uids = append(uids, 1)
+	}
+	return uids
+}
+
+func TestServerTime(t *testing.T) {
+	eng, _, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := eng.Advance(7); err != nil {
+		t.Fatal(err)
+	}
+	now, err := c.ServerTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now != 7 {
+		t.Fatalf("server time = %v, want 7", now)
+	}
+}
+
+func TestServerErrorPropagates(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Materialize("SELECT nope FROM nada", false)
+	if err == nil || !strings.Contains(err.Error(), "server:") {
+		t.Fatalf("err = %v, want server error", err)
+	}
+	// The connection survives an error response.
+	if err := c.Materialize("SELECT * FROM pol", false); err != nil {
+		t.Fatalf("connection unusable after error: %v", err)
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	eng, srv, addr := startServer(t)
+	const n = 4
+	clients := make([]*Client, n)
+	for i := range clients {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Materialize("SELECT * FROM pol", false); err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+	}
+	if err := eng.Advance(12); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range clients {
+		rel, err := c.Read(12)
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		if rel.CountAt(12) != 1 {
+			t.Fatalf("client %d: rows = %d, want 1", i, rel.CountAt(12))
+		}
+	}
+	if srv.Stats().MessagesReceived < n {
+		t.Fatalf("server stats: %s", srv.Stats())
+	}
+}
+
+func TestWireValueRoundTrip(t *testing.T) {
+	vals := []value.Value{
+		value.Null, value.Int(42), value.Int(-7), value.Float(2.5),
+		value.String_("hi"), value.Bool(true), value.Bool(false),
+	}
+	for _, v := range vals {
+		got := ToWire(v).FromWire()
+		if !got.Equal(v) || got.Kind() != v.Kind() {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestPatchBudgetOverWire(t *testing.T) {
+	eng, _, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Two critical tuples exist; a budget of 1 ships only the first, so
+	// the copy invalidates at the second event (texp_S(⟨1⟩) = 5).
+	if err := c.MaterializeBudget("SELECT uid FROM pol EXCEPT SELECT uid FROM el", true, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Texp() != 5 {
+		t.Fatalf("texp = %v, want 5 (first unshipped critical event)", c.Texp())
+	}
+	for tau := xtime.Time(0); tau <= 16; tau++ {
+		if err := eng.Advance(tau); err != nil {
+			t.Fatal(err)
+		}
+		rel, err := c.Read(tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, uid := range expectedDiff(tau) {
+			if !rel.Contains(tuple.Ints(uid), tau) {
+				t.Fatalf("at %v: uid %d missing:\n%s", tau, uid, rel.Render(tau))
+			}
+		}
+	}
+	if c.Rematerializations == 0 {
+		t.Fatal("exhausted wire budget must re-fetch")
+	}
+}

@@ -1,0 +1,133 @@
+// Package workload generates synthetic expiration-time workloads for the
+// experiments: the personalised news service of the paper's §2.1
+// (profiles with topic-dependent lifetimes), web sessions with keep-alive
+// renewal, and monitoring samples (temperature/location) with short fixed
+// lifetimes — the three application families the paper's introduction
+// names as natural sources of expiration times.
+package workload
+
+import (
+	"math/rand"
+
+	"expdb/internal/relation"
+	"expdb/internal/tuple"
+	"expdb/internal/xtime"
+)
+
+// Profile parameterises a generated profile table in the style of the
+// §2.1 news service: tuples ⟨UID, Deg⟩ with lifetimes drawn uniformly
+// from [MinLife, MaxLife].
+type Profile struct {
+	Users    int
+	Degrees  int // degree values are drawn from [0, Degrees)
+	MinLife  int
+	MaxLife  int
+	Density  float64 // fraction of users present in the table
+	Seed     int64
+	Infinite float64 // fraction of tuples that never expire
+}
+
+// Table materialises the profile table at time base.
+func (p Profile) Table(base xtime.Time) *relation.Relation {
+	rng := rand.New(rand.NewSource(p.Seed))
+	r := relation.New(tuple.IntCols("UID", "Deg"))
+	for uid := 0; uid < p.Users; uid++ {
+		if rng.Float64() >= p.Density {
+			continue
+		}
+		texp := xtime.Infinity
+		if rng.Float64() >= p.Infinite {
+			life := p.MinLife
+			if p.MaxLife > p.MinLife {
+				life += rng.Intn(p.MaxLife - p.MinLife + 1)
+			}
+			texp = base + xtime.Time(life)
+		}
+		r.Insert(tuple.Ints(int64(uid), int64(rng.Intn(p.Degrees))), texp)
+	}
+	return r
+}
+
+// NewsService builds the paper's two-table scenario scaled to n users:
+// a broad long-lived topic table (Pol) and a narrower short-lived one
+// (El), with overlapping user sets so difference and join queries have
+// critical tuples.
+func NewsService(n int, seed int64) (pol, el *relation.Relation) {
+	pol = Profile{
+		Users: n, Degrees: 100, MinLife: 50, MaxLife: 200,
+		Density: 0.9, Seed: seed,
+	}.Table(0)
+	el = Profile{
+		Users: n, Degrees: 100, MinLife: 5, MaxLife: 60,
+		Density: 0.5, Seed: seed + 1,
+	}.Table(0)
+	return pol, el
+}
+
+// Session is one generated web session event.
+type Session struct {
+	ID    int64
+	Start xtime.Time
+	TTL   xtime.Time
+}
+
+// Sessions generates n session-open events with Poisson-ish arrivals
+// (uniform gaps in [1, maxGap]) and uniform TTLs in [minTTL, maxTTL] —
+// the HTTP session management use case.
+func Sessions(n int, maxGap, minTTL, maxTTL int, seed int64) []Session {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Session, n)
+	var now xtime.Time
+	for i := range out {
+		now += xtime.Time(1 + rng.Intn(maxGap))
+		out[i] = Session{
+			ID:    int64(i),
+			Start: now,
+			TTL:   xtime.Time(minTTL + rng.Intn(maxTTL-minTTL+1)),
+		}
+	}
+	return out
+}
+
+// Sample is one generated sensor reading.
+type Sample struct {
+	Sensor int64
+	Value  int64
+	At     xtime.Time
+	TTL    xtime.Time
+}
+
+// Samples generates monitoring data: sensors report a value every period
+// ticks (with jitter), each reading valid for exactly ttl ticks — the
+// temperature/location sample use case where the lifetime is known
+// a priori.
+func Samples(sensors, rounds, period, ttl int, seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Sample, 0, sensors*rounds)
+	for round := 0; round < rounds; round++ {
+		base := xtime.Time(round * period)
+		for s := 0; s < sensors; s++ {
+			out = append(out, Sample{
+				Sensor: int64(s),
+				Value:  int64(15 + rng.Intn(20)), // e.g. temperature °C
+				At:     base + xtime.Time(rng.Intn(period/2+1)),
+				TTL:    xtime.Time(ttl),
+			})
+		}
+	}
+	return out
+}
+
+// Load inserts every sample into rel as ⟨Sensor, Value⟩ expiring at
+// At+TTL, returning the largest expiration time (the horizon).
+func Load(rel *relation.Relation, samples []Sample) xtime.Time {
+	var horizon xtime.Time
+	for _, s := range samples {
+		texp := s.At + s.TTL
+		rel.Insert(tuple.Ints(s.Sensor, s.Value), texp)
+		if texp > horizon {
+			horizon = texp
+		}
+	}
+	return horizon
+}
