@@ -78,6 +78,26 @@ func (c *Catalog) Tables() []string {
 	return names
 }
 
+// TableSet returns a name-sorted snapshot of the registered relations.
+// Callers iterate the snapshot without holding the catalog lock, so
+// sweeps can lock tables one at a time.
+func (c *Catalog) TableSet() []NamedTable {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]NamedTable, 0, len(c.tables))
+	for n, r := range c.tables {
+		out = append(out, NamedTable{Name: n, Rel: r})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NamedTable pairs a relation with its catalog name.
+type NamedTable struct {
+	Name string
+	Rel  *relation.Relation
+}
+
 // RegisterView stores a view under its name.
 func (c *Catalog) RegisterView(v *view.View) error {
 	c.mu.Lock()

@@ -6,6 +6,13 @@
 // The engine is driven by a logical clock (Advance), which keeps
 // experiments and tests deterministic; wall-clock deployments map real
 // time onto ticks at whatever granularity they choose.
+//
+// Concurrency: row storage is sharded behind per-table locks (the RWMutex
+// each relation.Relation carries), so inserts, deletes and queries on
+// different tables proceed in parallel. The engine's own mutex guards only
+// the clock, the expiry scheduler, triggers, watches and counters, and is
+// held for short, bounded sections. See DESIGN.md "Locking model" for the
+// lock hierarchy and ordering rules.
 package engine
 
 import (
@@ -71,10 +78,12 @@ func (k SchedulerKind) String() string {
 // sweeping).
 type TriggerFunc func(table string, row relation.Row, at xtime.Time)
 
-// expiryEvent is a scheduled check that a tuple has expired.
+// expiryEvent is a scheduled check that a tuple has expired. key is the
+// tuple's set key (tuple.Tuple.Key) within table; events carry keys
+// rather than tuples so scheduling never clones.
 type expiryEvent struct {
 	table string
-	key   tuple.Tuple
+	key   string
 	texp  xtime.Time
 }
 
@@ -86,10 +95,30 @@ type Stats struct {
 	TriggersFired  int
 	TriggerLatency int64 // Σ (fire tick − expiration tick), lazy sweeping only
 	Sweeps         int
+	Compactions    int // stale-event compactions of the heap scheduler
 }
 
+// compactMinStale is the stale-event count below which the heap scheduler
+// never compacts; past it, compaction runs once stale events outnumber
+// live ones. Small enough to bound waste, large enough that steady-state
+// churn never pays the rebuild.
+const compactMinStale = 1024
+
 // Engine is an expiration-time-enabled in-memory database.
+//
+// Lock hierarchy (acquire strictly downward, see DESIGN.md):
+//
+//	advMu  >  view locks  >  table locks (ascending LockOrder)  >  mu
 type Engine struct {
+	// advMu serialises the Advance/Sweep pipeline (clock movement,
+	// physical expiry, watch checks, trigger dispatch) without blocking
+	// Insert/Delete/Query, which never take it. Triggers run while it is
+	// held and therefore must not call Advance or Sweep.
+	advMu sync.Mutex
+
+	// mu guards the clock, the eager scheduler, triggers, watches and
+	// stats. It is a leaf lock: never acquire any other engine lock while
+	// holding it.
 	mu  sync.RWMutex
 	cat *catalog.Catalog
 	now xtime.Time
@@ -101,6 +130,17 @@ type Engine struct {
 	sched     SchedulerKind
 	heap      *pqueue.Queue[expiryEvent]
 	timeWheel *wheel.Wheel[expiryEvent]
+	// stale counts queued events that no longer match their tuple's
+	// stored expiration — superseded by a delete or a lifetime extension.
+	// The invariant backing the count: every row with a finite texp has
+	// exactly one live event queued (schedule runs exactly when an insert
+	// changes the stored row), so a delete or extension strands exactly
+	// one event, and a stranded event is detected — and the count
+	// decremented — when it pops and fails expireBatch's texp check, or
+	// when compaction discards it. Stale events waste scheduler memory
+	// but never fire: expireBatch only removes a tuple whose stored texp
+	// equals the event's.
+	stale int
 
 	triggers map[string][]TriggerFunc
 	watches  []*viewWatch
@@ -158,6 +198,17 @@ func (e *Engine) Stats() Stats {
 	return e.stats
 }
 
+// SchedulerLoad reports how many events the eager scheduler holds and how
+// many of them are stale. Exposed for tests and operational introspection.
+func (e *Engine) SchedulerLoad() (pending, stale int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.sched == SchedulerWheel {
+		return e.timeWheel.Len(), e.stale
+	}
+	return e.heap.Len(), e.stale
+}
+
 // CreateTable registers a new base relation.
 func (e *Engine) CreateTable(name string, schema tuple.Schema) error {
 	_, err := e.cat.CreateTable(name, schema)
@@ -179,6 +230,20 @@ func (e *Engine) OnExpire(table string, fn TriggerFunc) error {
 // the only place (apart from Update) where expiration times surface to
 // users, in line with the paper's transparency goal.
 func (e *Engine) Insert(table string, t tuple.Tuple, texp xtime.Time) error {
+	return e.insert(table, t, func(xtime.Time) xtime.Time { return texp })
+}
+
+// InsertTTL adds t with a lifetime of ttl ticks from now; ttl of
+// xtime.Infinity means the tuple never expires. The expiration time is
+// computed against the clock inside the insert's critical section, so a
+// concurrent Advance can never invalidate it between computation and use.
+func (e *Engine) InsertTTL(table string, t tuple.Tuple, ttl xtime.Time) error {
+	return e.insert(table, t, func(now xtime.Time) xtime.Time { return now.Add(ttl) })
+}
+
+// insert validates and stores one tuple, with texpAt mapping the clock
+// reading to the tuple's expiration time. Lock order: table, then engine.
+func (e *Engine) insert(table string, t tuple.Tuple, texpAt func(xtime.Time) xtime.Time) error {
 	rel, err := e.cat.Table(table)
 	if err != nil {
 		return err
@@ -186,24 +251,27 @@ func (e *Engine) Insert(table string, t tuple.Tuple, texp xtime.Time) error {
 	if err := rel.Schema().Validate(t); err != nil {
 		return err
 	}
+	key := t.Key()
+	rel.Lock()
+	defer rel.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	texp := texpAt(e.now)
 	if texp <= e.now && texp != xtime.Infinity {
 		return fmt.Errorf("engine: expiration time %v not after current tick %v", texp, e.now)
 	}
-	rel.Insert(t, texp)
+	changed, prev, had := rel.InsertKeyed(key, t, texp)
 	e.stats.Inserts++
-	e.schedule(table, t, texp)
+	if changed && e.sweepMode == SweepEager {
+		if had && prev != xtime.Infinity {
+			// Lifetime extension: the event queued at prev is now stale.
+			e.stale++
+		}
+		e.schedule(table, key, texp)
+	}
+	// A no-change duplicate keeps its existing event; scheduling another
+	// would only grow the stale backlog.
 	return nil
-}
-
-// InsertTTL adds t with a lifetime of ttl ticks from now; ttl of
-// xtime.Infinity means the tuple never expires.
-func (e *Engine) InsertTTL(table string, t tuple.Tuple, ttl xtime.Time) error {
-	e.mu.RLock()
-	texp := e.now.Add(ttl)
-	e.mu.RUnlock()
-	return e.Insert(table, t, texp)
 }
 
 // Delete removes t from table immediately (an explicit delete, the
@@ -213,25 +281,94 @@ func (e *Engine) Delete(table string, t tuple.Tuple) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	key := t.Key()
+	rel.Lock()
+	defer rel.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	ok := rel.Delete(t)
+	row, ok := rel.RowByKey(key)
 	if ok {
+		rel.DeleteKey(key)
 		e.stats.Deletes++
+		if e.sweepMode == SweepEager && row.Texp != xtime.Infinity {
+			// The row's queued event is now stranded.
+			e.stale++
+		}
 	}
 	return ok, nil
 }
 
-func (e *Engine) schedule(table string, t tuple.Tuple, texp xtime.Time) {
-	if e.sweepMode != SweepEager || texp == xtime.Infinity {
+// schedule registers an eager expiry event for the tuple stored under key
+// in table. Callers hold e.mu and must only call it when the insert
+// changed the stored row, keeping the one-live-event-per-finite-row
+// invariant behind the stale count.
+func (e *Engine) schedule(table, key string, texp xtime.Time) {
+	if texp == xtime.Infinity {
 		return
 	}
-	ev := expiryEvent{table: table, key: t.Clone(), texp: texp}
+	ev := expiryEvent{table: table, key: key, texp: texp}
 	if e.sched == SchedulerWheel {
 		e.timeWheel.Schedule(texp, ev)
 	} else {
 		e.heap.Push(texp, ev)
 	}
+}
+
+// maybeCompact rebuilds the heap without stale events once they both pass
+// compactMinStale and outnumber live events, bounding scheduler memory
+// under churny workloads with long TTLs. It runs at the head of each
+// Advance — the only point where advMu is held and no other lock is, so
+// liveness can be checked against the tables themselves (an event is live
+// iff its tuple's stored expiration equals the event's). Only the heap
+// compacts: wheel buckets shed stale entries as their slots are visited.
+func (e *Engine) maybeCompact() {
+	e.mu.Lock()
+	if e.sched != SchedulerHeap || e.stale < compactMinStale || 2*e.stale < e.heap.Len() {
+		e.mu.Unlock()
+		return
+	}
+	// Steal the heap; concurrent inserts push into the fresh one and are
+	// merged back with the surviving events below. No event can pop in
+	// the window: only Advance pops, and advMu is held.
+	old := e.heap
+	e.heap = pqueue.New[expiryEvent](max(old.Len()-e.stale, 0))
+	e.mu.Unlock()
+
+	byTable := make(map[string][]pqueue.Item[expiryEvent])
+	total := 0
+	for {
+		it, ok := old.Pop()
+		if !ok {
+			break
+		}
+		byTable[it.Value.table] = append(byTable[it.Value.table], it)
+		total++
+	}
+	live := make([]pqueue.Item[expiryEvent], 0, total)
+	for table, items := range byTable {
+		rel, err := e.cat.Table(table)
+		if err != nil {
+			continue // table dropped: every event is dead
+		}
+		rel.RLock()
+		for _, it := range items {
+			if row, ok := rel.RowByKey(it.Value.key); ok && row.Texp == it.Value.texp {
+				live = append(live, it)
+			}
+		}
+		rel.RUnlock()
+	}
+
+	e.mu.Lock()
+	for _, it := range live {
+		e.heap.Push(it.At, it.Value)
+	}
+	e.stale -= total - len(live)
+	if e.stale < 0 {
+		e.stale = 0
+	}
+	e.stats.Compactions++
+	e.mu.Unlock()
 }
 
 // firedEvent is an expiration whose triggers are due for dispatch.
@@ -243,24 +380,45 @@ type firedEvent struct {
 
 // Advance moves the logical clock to tick to, firing expirations along
 // the way. It is the heartbeat of the engine. Triggers run after the
-// clock has moved and without holding the engine lock, so they may freely
-// issue engine operations (inserts, deletes, queries) — but not Advance.
+// clock has moved and without holding the engine or table locks, so they
+// may freely issue engine operations (inserts, deletes, queries, view
+// reads) — but not Advance or Sweep, which serialise on the same
+// pipeline mutex.
 func (e *Engine) Advance(to xtime.Time) error {
+	e.advMu.Lock()
+	defer e.advMu.Unlock()
+
+	e.maybeCompact()
 	e.mu.Lock()
 	if to < e.now {
 		now := e.now
 		e.mu.Unlock()
 		return fmt.Errorf("engine: cannot advance backwards from %v to %v", now, to)
 	}
-	var events []firedEvent
+	var due []expiryEvent
+	var sweeps []xtime.Time
 	if e.sweepMode == SweepEager {
-		events = e.advanceEager(to)
+		due = e.popDue(to)
 	} else {
-		events = e.advanceLazy(to)
+		// Sweep at each multiple of sweepEvery crossed by the advance, so
+		// trigger latency is bounded by the period.
+		for tick := e.lastSweep + e.sweepEvery; tick <= to; tick += e.sweepEvery {
+			sweeps = append(sweeps, tick)
+			e.lastSweep = tick
+		}
 	}
 	e.now = to
-	watches := e.checkWatches()
 	e.mu.Unlock()
+
+	var events []firedEvent
+	if e.sweepMode == SweepEager {
+		events = e.expireBatch(due)
+	} else {
+		for _, tick := range sweeps {
+			events = append(events, e.sweepTables(tick)...)
+		}
+	}
+	watches := e.checkWatches(to)
 	e.dispatch(events)
 	for _, fw := range watches {
 		fw.watch.fn(fw.watch.name, fw.at)
@@ -268,87 +426,135 @@ func (e *Engine) Advance(to xtime.Time) error {
 	return nil
 }
 
-func (e *Engine) advanceEager(to xtime.Time) []firedEvent {
-	var due []expiryEvent
+// popDue drains scheduler events due at or before to. Stale events
+// (deleted or lifetime-extended tuples) are still among them; expireBatch
+// filters them against each table's stored expirations. Callers hold
+// e.mu.
+func (e *Engine) popDue(to xtime.Time) []expiryEvent {
 	if e.sched == SchedulerWheel {
-		due = e.timeWheel.Advance(to)
-	} else {
-		for _, it := range e.heap.PopDue(to) {
-			due = append(due, it.Value)
-		}
+		return e.timeWheel.Advance(to)
 	}
-	var events []firedEvent
-	for _, ev := range due {
-		if fe, ok := e.expireNow(ev); ok {
-			events = append(events, fe)
-		}
+	var due []expiryEvent
+	for _, it := range e.heap.PopDue(to) {
+		due = append(due, it.Value)
 	}
-	return events
+	return due
 }
 
-// expireNow checks that the scheduled tuple really is expired (it may
-// have been deleted, or re-inserted with a longer lifetime — in which
-// case a fresher event exists) and removes it, returning the trigger
-// event.
-func (e *Engine) expireNow(ev expiryEvent) (firedEvent, bool) {
-	rel, err := e.cat.Table(ev.table)
-	if err != nil {
-		return firedEvent{}, false // table dropped
+// expireBatch physically removes the tuples behind due events, taking
+// each table's lock once per batch. An event only fires if the tuple's
+// stored expiration still equals the event's: stale events — the tuple
+// was deleted, its lifetime extended (the later event is already
+// queued), or concurrently re-inserted since popDue — are dropped here
+// and deducted from the stale count. The returned events preserve the
+// scheduler's time order for dispatch.
+func (e *Engine) expireBatch(due []expiryEvent) []firedEvent {
+	if len(due) == 0 {
+		return nil
 	}
-	texp, ok := rel.Texp(ev.key)
-	if !ok || texp != ev.texp {
-		return firedEvent{}, false // deleted or lifetime extended
+	byTable := make(map[string][]int)
+	for i, ev := range due {
+		byTable[ev.table] = append(byTable[ev.table], i)
 	}
-	rel.Delete(ev.key)
-	e.stats.TuplesExpired++
-	return firedEvent{table: ev.table, row: relation.Row{Tuple: ev.key, Texp: ev.texp}, at: ev.texp}, true
-}
-
-func (e *Engine) advanceLazy(to xtime.Time) []firedEvent {
-	// Sweep at each multiple of sweepEvery crossed by the advance, so
-	// trigger latency is bounded by the period.
-	var events []firedEvent
-	for tick := e.lastSweep + e.sweepEvery; tick <= to; tick += e.sweepEvery {
-		events = append(events, e.sweepAt(tick)...)
-		e.lastSweep = tick
-	}
-	return events
-}
-
-func (e *Engine) sweepAt(tick xtime.Time) []firedEvent {
-	e.stats.Sweeps++
-	var events []firedEvent
-	for _, name := range e.cat.Tables() {
-		rel, err := e.cat.Table(name)
+	expired := make([]bool, len(due))
+	rows := make([]relation.Row, len(due))
+	n := 0
+	for table, idxs := range byTable {
+		rel, err := e.cat.Table(table)
 		if err != nil {
-			continue
+			continue // table dropped
 		}
-		for _, row := range rel.RemoveExpired(tick) {
-			e.stats.TuplesExpired++
-			e.stats.TriggerLatency += int64(tick - row.Texp)
-			events = append(events, firedEvent{table: name, row: row, at: tick})
+		rel.Lock()
+		for _, i := range idxs {
+			ev := due[i]
+			if row, ok := rel.RowByKey(ev.key); ok && row.Texp == ev.texp {
+				rel.DeleteKey(ev.key)
+				rows[i] = row
+				expired[i] = true
+				n++
+			}
+		}
+		rel.Unlock()
+	}
+	e.mu.Lock()
+	e.stats.TuplesExpired += n
+	// Events that failed the texp check were stale — stranded by a
+	// delete, a lifetime extension or a dropped table.
+	e.stale -= len(due) - n
+	if e.stale < 0 {
+		e.stale = 0
+	}
+	e.mu.Unlock()
+	if n == 0 {
+		return nil
+	}
+	events := make([]firedEvent, 0, n)
+	for i, ev := range due {
+		if expired[i] {
+			events = append(events, firedEvent{table: ev.table, row: rows[i], at: ev.texp})
 		}
 	}
 	return events
 }
 
-// Sweep forces a lazy batch sweep at the current tick.
-func (e *Engine) Sweep() {
+// sweepTables removes every tuple expired at tick from every table,
+// locking tables one at a time.
+func (e *Engine) sweepTables(tick xtime.Time) []firedEvent {
+	var events []firedEvent
+	var latency int64
+	for _, nt := range e.cat.TableSet() {
+		nt.Rel.Lock()
+		removed := nt.Rel.RemoveExpired(tick)
+		nt.Rel.Unlock()
+		for _, row := range removed {
+			latency += int64(tick - row.Texp)
+			events = append(events, firedEvent{table: nt.Name, row: row, at: tick})
+		}
+	}
 	e.mu.Lock()
-	events := e.sweepAt(e.now)
-	e.lastSweep = e.now
+	e.stats.Sweeps++
+	e.stats.TuplesExpired += len(events)
+	e.stats.TriggerLatency += latency
 	e.mu.Unlock()
+	return events
+}
+
+// Sweep forces a lazy batch sweep at the current tick. It does not move
+// lastSweep: the periodic sweep grid stays anchored at multiples of
+// sweepEvery, so a manual off-grid sweep cannot shift every future
+// automatic sweep off the grid advanceLazy documents.
+func (e *Engine) Sweep() {
+	e.advMu.Lock()
+	defer e.advMu.Unlock()
+	e.mu.RLock()
+	now := e.now
+	e.mu.RUnlock()
+	events := e.sweepTables(now)
 	e.dispatch(events)
 }
 
-// dispatch runs triggers outside the engine lock.
+// dispatch runs triggers outside the engine and table locks, snapshotting
+// each table's trigger slice once per batch rather than re-locking per
+// event.
 func (e *Engine) dispatch(events []firedEvent) {
+	if len(events) == 0 {
+		return
+	}
+	e.mu.Lock()
+	snaps := make(map[string][]TriggerFunc)
+	fired := 0
 	for _, ev := range events {
-		e.mu.Lock()
-		fns := append([]TriggerFunc(nil), e.triggers[ev.table]...)
-		e.stats.TriggersFired += len(fns)
-		e.mu.Unlock()
-		for _, fn := range fns {
+		fns, ok := snaps[ev.table]
+		if !ok {
+			fns = append([]TriggerFunc(nil), e.triggers[ev.table]...)
+			snaps[ev.table] = fns
+		}
+		fired += len(fns)
+	}
+	e.stats.TriggersFired += fired
+	e.mu.Unlock()
+	for _, ev := range events {
+		for _, fn := range snaps[ev.table] {
 			fn(ev.table, ev.row, ev.at)
 		}
 	}
@@ -366,13 +572,17 @@ func (e *Engine) Base(table string) (*algebra.Base, error) {
 
 // Query evaluates expr at the current tick. Expired tuples are invisible
 // regardless of whether they have been physically removed — the lazy
-// sweeper never leaks through queries. The engine's read lock is held for
-// the duration of the evaluation, making Query safe against concurrent
-// inserts, deletes and clock advances.
+// sweeper never leaks through queries. The read locks of every base
+// relation in expr are held for the duration of the evaluation, so Query
+// is safe against concurrent inserts, deletes and clock advances while
+// queries on disjoint tables proceed fully in parallel.
 func (e *Engine) Query(expr algebra.Expr) (*relation.Relation, error) {
+	unlock := e.rlockBases(expr)
+	defer unlock()
 	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return expr.Eval(e.now)
+	now := e.now
+	e.mu.RUnlock()
+	return expr.Eval(now)
 }
 
 // MaterializeExpr atomically evaluates expr at the current tick and
@@ -382,9 +592,11 @@ func (e *Engine) Query(expr algebra.Expr) (*relation.Relation, error) {
 // texp is the arguments' minimum). It returns the tick the
 // materialisation reflects.
 func (e *Engine) MaterializeExpr(expr algebra.Expr, wantHelper bool) (rel *relation.Relation, texp xtime.Time, helper []algebra.CriticalRow, now xtime.Time, err error) {
+	unlock := e.rlockBases(expr)
+	defer unlock()
 	e.mu.RLock()
-	defer e.mu.RUnlock()
 	now = e.now
+	e.mu.RUnlock()
 	rel, err = expr.Eval(now)
 	if err != nil {
 		return nil, 0, nil, now, err
@@ -415,9 +627,12 @@ func (e *Engine) CreateView(name string, expr algebra.Expr, opts ...view.Option)
 	if err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	err = v.Materialize(e.now)
-	e.mu.Unlock()
+	unlock := e.rlockBases(expr)
+	e.mu.RLock()
+	now := e.now
+	e.mu.RUnlock()
+	err = v.Materialize(now)
+	unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -429,15 +644,20 @@ func (e *Engine) CreateView(name string, expr algebra.Expr, opts ...view.Option)
 
 // ReadView answers a query against the named view at the current tick.
 // Reads may mutate the view (patch application, recomputation), so the
-// engine's write lock is held.
+// view's own lock is held, plus read locks on its base relations.
 func (e *Engine) ReadView(name string) (*relation.Relation, view.ReadInfo, error) {
 	v, err := e.cat.View(name)
 	if err != nil {
 		return nil, view.ReadInfo{}, err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return v.Read(e.now)
+	v.Lock()
+	defer v.Unlock()
+	unlock := e.rlockBases(v.Expr())
+	defer unlock()
+	e.mu.RLock()
+	now := e.now
+	e.mu.RUnlock()
+	return v.Read(now)
 }
 
 // RefreshView re-materialises the named view at the current tick.
@@ -446,7 +666,12 @@ func (e *Engine) RefreshView(name string) error {
 	if err != nil {
 		return err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return v.Materialize(e.now)
+	v.Lock()
+	defer v.Unlock()
+	unlock := e.rlockBases(v.Expr())
+	defer unlock()
+	e.mu.RLock()
+	now := e.now
+	e.mu.RUnlock()
+	return v.Materialize(now)
 }

@@ -305,6 +305,121 @@ func TestQuerySeesLogicalNotPhysicalState(t *testing.T) {
 	}
 }
 
+// TestManualSweepKeepsGridAnchored is the regression test for the sweep
+// drift bug: a manual Sweep at an off-grid tick used to move lastSweep,
+// shifting every future automatic sweep off the multiples of sweepEvery
+// that advanceLazy documents.
+func TestManualSweepKeepsGridAnchored(t *testing.T) {
+	e := New(WithSweep(SweepLazy, 8))
+	if err := e.CreateTable("s", tuple.IntCols("id")); err != nil {
+		t.Fatal(err)
+	}
+	var fired []xtime.Time
+	if err := e.OnExpire("s", func(_ string, _ relation.Row, at xtime.Time) {
+		fired = append(fired, at)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Insert("s", tuple.Ints(1), 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Insert("s", tuple.Ints(2), 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Advance(5); err != nil {
+		t.Fatal(err)
+	}
+	// Manual sweep at the off-grid tick 5 collects tuple 1 (expired at 3).
+	e.Sweep()
+	if len(fired) != 1 || fired[0] != 5 {
+		t.Fatalf("manual sweep fired %v, want [5]", fired)
+	}
+	// The grid must stay at 8, 16, 24, … — with the drift bug the next
+	// automatic sweeps would land at 13 and 21, firing tuple 2 at 13.
+	if err := e.Advance(20); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[1] != 16 {
+		t.Fatalf("automatic sweep fired %v, want tuple 2 at the grid tick 16", fired)
+	}
+}
+
+// TestStaleEventCompaction is the regression test for unbounded scheduler
+// growth: deleted or lifetime-extended tuples used to leave their events
+// in the heap until the original expiration passed. Past the threshold
+// the next Advance now compacts stale events away.
+func TestStaleEventCompaction(t *testing.T) {
+	e := New(WithScheduler(SchedulerHeap))
+	if err := e.CreateTable("s", tuple.IntCols("id")); err != nil {
+		t.Fatal(err)
+	}
+	const n = 1500 // > compactMinStale
+	for i := 0; i < n; i++ {
+		if err := e.Insert("s", tuple.Ints(int64(i)), 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if ok, err := e.Delete("s", tuple.Ints(int64(i))); err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if _, stale := e.SchedulerLoad(); stale != n {
+		t.Fatalf("after churn: stale=%d, want %d", stale, n)
+	}
+	// Advancing nowhere near texp=1_000_000 compacts the stale backlog
+	// away instead of letting all n events linger until it passes.
+	if err := e.Advance(1); err != nil {
+		t.Fatal(err)
+	}
+	pending, stale := e.SchedulerLoad()
+	if pending != 0 || stale != 0 {
+		t.Fatalf("after Advance: pending=%d stale=%d, want 0/0", pending, stale)
+	}
+	if e.Stats().Compactions == 0 {
+		t.Fatal("no compaction recorded")
+	}
+}
+
+// TestDuplicateInsertSchedulesOnce: re-inserting a tuple with the same or
+// an earlier expiration is a no-change insert and must not enqueue a
+// duplicate event.
+func TestDuplicateInsertSchedulesOnce(t *testing.T) {
+	e := New(WithScheduler(SchedulerHeap))
+	if err := e.CreateTable("s", tuple.IntCols("id")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := e.Insert("s", tuple.Ints(1), 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pending, _ := e.SchedulerLoad(); pending != 1 {
+		t.Fatalf("pending events = %d, want 1", pending)
+	}
+	// An extension schedules a replacement and marks the old event stale.
+	if err := e.Insert("s", tuple.Ints(1), 80); err != nil {
+		t.Fatal(err)
+	}
+	pending, stale := e.SchedulerLoad()
+	if pending != 2 || stale != 1 {
+		t.Fatalf("after extension: pending=%d stale=%d, want 2/1", pending, stale)
+	}
+	fired := 0
+	if err := e.OnExpire("s", func(string, relation.Row, xtime.Time) { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Advance(100); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("triggers = %d, want 1", fired)
+	}
+	if pending, stale := e.SchedulerLoad(); pending != 0 || stale != 0 {
+		t.Fatalf("after drain: pending=%d stale=%d", pending, stale)
+	}
+}
+
 func TestAdvanceBackwardFails(t *testing.T) {
 	e := New()
 	if err := e.Advance(5); err != nil {

@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"sort"
+
+	"expdb/internal/algebra"
+	"expdb/internal/relation"
+)
+
+// baseRels returns the distinct base relations referenced by exprs, in
+// ascending LockOrder — the canonical acquisition order that keeps
+// multi-table locking deadlock-free. Writers in the engine only ever hold
+// one table lock at a time; readers spanning several tables (joins,
+// differences) must take them in this order because a pending writer on
+// one of the tables would otherwise close a wait cycle between two
+// overlapping readers.
+func baseRels(exprs ...algebra.Expr) []*relation.Relation {
+	seen := make(map[*relation.Relation]bool)
+	var rels []*relation.Relation
+	for _, expr := range exprs {
+		algebra.Walk(expr, func(x algebra.Expr) {
+			if b, ok := x.(*algebra.Base); ok && b.Rel != nil && !seen[b.Rel] {
+				seen[b.Rel] = true
+				rels = append(rels, b.Rel)
+			}
+		})
+	}
+	sort.Slice(rels, func(i, j int) bool { return rels[i].LockOrder() < rels[j].LockOrder() })
+	return rels
+}
+
+// rlockBases read-locks every base relation of exprs and returns the
+// matching unlock. The base relations need not belong to this engine's
+// catalog — expressions over foreign relations simply lock those.
+func (e *Engine) rlockBases(exprs ...algebra.Expr) func() {
+	rels := baseRels(exprs...)
+	for _, r := range rels {
+		r.RLock()
+	}
+	return func() {
+		// Release in reverse acquisition order.
+		for i := len(rels) - 1; i >= 0; i-- {
+			rels[i].RUnlock()
+		}
+	}
+}

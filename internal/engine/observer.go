@@ -36,29 +36,39 @@ func (e *Engine) OnViewInvalid(name string, fn ViewObserverFunc, autoRefresh boo
 	return nil
 }
 
-// checkWatches runs under the engine lock and returns the notifications
-// to dispatch outside it.
-func (e *Engine) checkWatches() []firedWatch {
+// checkWatches runs from the Advance/Sweep pipeline (advMu held, engine
+// lock not held) and returns the notifications to dispatch after all
+// locks are released. Each view is checked under its own lock plus read
+// locks on its base relations; the notified flag is only touched here, so
+// advMu alone serialises it.
+func (e *Engine) checkWatches(now xtime.Time) []firedWatch {
+	e.mu.RLock()
+	watches := append([]*viewWatch(nil), e.watches...)
+	e.mu.RUnlock()
 	var due []firedWatch
-	for _, w := range e.watches {
+	for _, w := range watches {
 		v, err := e.cat.View(w.name)
 		if err != nil {
 			continue // view dropped
 		}
-		if !v.NeedsRecomputation(e.now) {
+		v.Lock()
+		unlock := e.rlockBases(v.Expr())
+		switch {
+		case !v.NeedsRecomputation(now):
 			w.notified = false
-			continue
-		}
-		if w.notified {
-			continue
-		}
-		w.notified = true
-		due = append(due, firedWatch{watch: w, at: e.now})
-		if w.refresh {
-			if err := v.Materialize(e.now); err == nil {
-				w.notified = false
+		case w.notified:
+			// Already reported this invalidation.
+		default:
+			w.notified = true
+			due = append(due, firedWatch{watch: w, at: now})
+			if w.refresh {
+				if err := v.Materialize(now); err == nil {
+					w.notified = false
+				}
 			}
 		}
+		unlock()
+		v.Unlock()
 	}
 	return due
 }

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"expdb/internal/tuple"
 	"expdb/internal/value"
@@ -26,15 +28,44 @@ type Row struct {
 
 // Relation is a mutable set of tuples with expiration times. The zero
 // value is not usable; construct with New.
+//
+// A Relation carries its own RWMutex but does not lock around its
+// methods: locking is the caller's job. The engine uses the mutex as the
+// per-table lock of its lock hierarchy (see DESIGN.md "Locking model"),
+// so concurrent access must go through Lock/RLock; relations used as
+// single-goroutine intermediates (operator results, snapshots) can skip
+// locking entirely and pay nothing.
 type Relation struct {
+	mu     sync.RWMutex
+	order  uint64 // global acquisition order for multi-relation locking
 	schema tuple.Schema
 	rows   map[string]Row // set key -> row
 }
 
+// lockSeq hands out the global lock-acquisition order of relations.
+var lockSeq atomic.Uint64
+
 // New returns an empty relation with the given schema.
 func New(schema tuple.Schema) *Relation {
-	return &Relation{schema: schema, rows: make(map[string]Row)}
+	return &Relation{order: lockSeq.Add(1), schema: schema, rows: make(map[string]Row)}
 }
+
+// Lock write-locks the relation.
+func (r *Relation) Lock() { r.mu.Lock() }
+
+// Unlock releases a write lock.
+func (r *Relation) Unlock() { r.mu.Unlock() }
+
+// RLock read-locks the relation.
+func (r *Relation) RLock() { r.mu.RLock() }
+
+// RUnlock releases a read lock.
+func (r *Relation) RUnlock() { r.mu.RUnlock() }
+
+// LockOrder returns the relation's position in the global lock order.
+// Goroutines that hold locks on several relations at once must acquire
+// them in ascending LockOrder to stay deadlock-free.
+func (r *Relation) LockOrder() uint64 { return r.order }
 
 // FromRows builds a relation from rows, applying set semantics.
 func FromRows(schema tuple.Schema, rows []Row) *Relation {
@@ -56,16 +87,31 @@ func (r *Relation) Len() int { return len(r.rows) }
 // larger expiration time wins (set semantics consistent with ∪exp). It
 // reports whether the relation's visible content changed.
 func (r *Relation) Insert(t tuple.Tuple, texp xtime.Time) bool {
-	k := t.Key()
-	if old, ok := r.rows[k]; ok {
+	changed, _, _ := r.InsertPrev(t, texp)
+	return changed
+}
+
+// InsertPrev is Insert, additionally reporting the tuple's previous
+// expiration time when an equal tuple was already present. Schedulers use
+// prev to detect that an event queued for the old expiration has become
+// stale (the tuple's lifetime was extended).
+func (r *Relation) InsertPrev(t tuple.Tuple, texp xtime.Time) (changed bool, prev xtime.Time, had bool) {
+	return r.InsertKeyed(t.Key(), t, texp)
+}
+
+// InsertKeyed is InsertPrev for callers that already computed t.Key(),
+// sparing the hot insert path a second key encoding. key must equal
+// t.Key().
+func (r *Relation) InsertKeyed(key string, t tuple.Tuple, texp xtime.Time) (changed bool, prev xtime.Time, had bool) {
+	if old, ok := r.rows[key]; ok {
 		if texp > old.Texp {
-			r.rows[k] = Row{Tuple: old.Tuple, Texp: texp}
-			return true
+			r.rows[key] = Row{Tuple: old.Tuple, Texp: texp}
+			return true, old.Texp, true
 		}
-		return false
+		return false, old.Texp, true
 	}
-	r.rows[k] = Row{Tuple: t.Clone(), Texp: texp}
-	return true
+	r.rows[key] = Row{Tuple: t.Clone(), Texp: texp}
+	return true, 0, false
 }
 
 // InsertRow is Insert for a Row value.
@@ -79,6 +125,24 @@ func (r *Relation) Delete(t tuple.Tuple) bool {
 	}
 	delete(r.rows, k)
 	return true
+}
+
+// DeleteKey removes the tuple stored under key (a value of Tuple.Key),
+// reporting whether it was present.
+func (r *Relation) DeleteKey(key string) bool {
+	if _, ok := r.rows[key]; !ok {
+		return false
+	}
+	delete(r.rows, key)
+	return true
+}
+
+// RowByKey returns the row stored under key (a value of Tuple.Key). The
+// returned row's tuple is the relation's own storage: callers must not
+// mutate it, and should only retain it after deleting the row.
+func (r *Relation) RowByKey(key string) (Row, bool) {
+	row, ok := r.rows[key]
+	return row, ok
 }
 
 // Texp returns texp_R(t) and whether t ∈ R.

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"expdb/internal/algebra"
 	"expdb/internal/interval"
@@ -147,7 +148,13 @@ type patch struct {
 }
 
 // View is a materialised expression with independent maintenance.
+//
+// Like relation.Relation, a View carries its own mutex but does not lock
+// around its methods: Read and Materialize mutate view state, so
+// concurrent users (the engine) serialise calls per view via Lock/Unlock
+// while single-goroutine users pay nothing.
 type View struct {
+	mu       sync.Mutex
 	name     string
 	expr     algebra.Expr
 	mode     ReadMode
@@ -236,6 +243,14 @@ func New(name string, expr algebra.Expr, opts ...Option) (*View, error) {
 
 // Name returns the view's name.
 func (v *View) Name() string { return v.name }
+
+// Lock serialises stateful operations (Read, Materialize, applyPatches)
+// against the view. In the engine's lock hierarchy the view lock ranks
+// above table locks: hold it before read-locking base relations.
+func (v *View) Lock() { v.mu.Lock() }
+
+// Unlock releases the view lock.
+func (v *View) Unlock() { v.mu.Unlock() }
 
 // Expr returns the view's expression.
 func (v *View) Expr() algebra.Expr { return v.expr }

@@ -13,6 +13,7 @@ package wheel
 
 import (
 	"fmt"
+	"math/bits"
 
 	"expdb/internal/xtime"
 )
@@ -29,13 +30,16 @@ type entry[T any] struct {
 // silently dropped: they never expire.
 type Wheel[T any] struct {
 	levels  [][]*entry[T] // levels[l][slot] -> bucket list
+	occ     []uint64      // occ[l] bit s set ⇔ levels[l][s] non-empty
 	slots   int
 	now     xtime.Time
 	pending int
 }
 
 // defaultSlots is the per-level fan-out. With s slots and L levels the
-// wheel covers s^L ticks before overflow re-insertion kicks in.
+// wheel covers s^L ticks before overflow re-insertion kicks in. The
+// fan-out must stay 64 so each level's occupancy fits one uint64, which
+// is what makes the skip-ahead Advance O(1) per busy tick.
 const (
 	defaultSlots  = 64
 	defaultLevels = 6
@@ -45,6 +49,7 @@ const (
 func New[T any](now xtime.Time) *Wheel[T] {
 	w := &Wheel[T]{slots: defaultSlots, now: now}
 	w.levels = make([][]*entry[T], defaultLevels)
+	w.occ = make([]uint64, defaultLevels)
 	for i := range w.levels {
 		w.levels[i] = make([]*entry[T], defaultSlots)
 	}
@@ -80,6 +85,7 @@ func (w *Wheel[T]) insert(e *entry[T]) {
 			slot := (int64(e.at) / span) % int64(w.slots)
 			e.next = w.levels[l][slot]
 			w.levels[l][slot] = e
+			w.occ[l] |= 1 << uint(slot)
 			return
 		}
 		span = levelSpan
@@ -89,16 +95,65 @@ func (w *Wheel[T]) insert(e *entry[T]) {
 // Advance moves the wheel to tau (which must not precede the current time)
 // and returns every value whose scheduled instant is ≤ tau, in scheduled
 // order within a tick but unspecified order across equal instants.
+//
+// Advance does not tick once per instant: it jumps straight between busy
+// ticks — instants where the hand reaches an occupied level-0 slot or a
+// cascade boundary of an occupied higher-level slot — so crossing an
+// empty span of Δt ticks costs O(occupied slots), not O(Δt).
 func (w *Wheel[T]) Advance(tau xtime.Time) []T {
 	if tau < w.now {
 		panic(fmt.Sprintf("wheel: Advance to %v before now %v", tau, w.now))
 	}
 	var out []T
 	for w.now < tau {
-		w.now++
+		if w.pending == 0 {
+			w.now = tau
+			break
+		}
+		next, ok := w.nextBusyTick()
+		if !ok || next > tau {
+			w.now = tau
+			break
+		}
+		w.now = next
 		out = append(out, w.tick()...)
 	}
 	return out
+}
+
+// nextBusyTick returns the earliest instant after the current time at
+// which tick() could deliver or cascade an entry: for a level-0 slot the
+// next time the wheel hand reaches it, for a higher level the next
+// span-aligned instant landing on an occupied slot. Level-0 entries are
+// always within slots ticks of insertion time, so the hand reaches their
+// slot exactly at their due instant; occupied higher-level slots are
+// visited at or before the due instants of everything they hold, which
+// then cascades downward. Each level is resolved with one bit rotation,
+// making the scan O(levels).
+func (w *Wheel[T]) nextBusyTick() (xtime.Time, bool) {
+	slots := int64(w.slots)
+	now := int64(w.now)
+	var best int64
+	found := false
+	span := int64(1)
+	for l := 0; l < len(w.levels); l++ {
+		occ := w.occ[l]
+		if occ == 0 {
+			span *= slots
+			continue
+		}
+		// q is the first index at this level whose instant q*span exceeds
+		// now; rotating the occupancy word so q's slot is bit 0 turns
+		// "distance to the next occupied slot" into a trailing-zero count.
+		q := now/span + 1
+		rot := bits.RotateLeft64(occ, -int(q%slots))
+		t := (q + int64(bits.TrailingZeros64(rot))) * span
+		if t > now && (!found || t < best) {
+			best, found = t, true
+		}
+		span *= slots
+	}
+	return xtime.Time(best), found
 }
 
 // tick processes the slot for the (already incremented) current time: it
@@ -115,6 +170,7 @@ func (w *Wheel[T]) tick() []T {
 		}
 		bucket := w.levels[l][slot]
 		w.levels[l][slot] = nil
+		w.occ[l] &^= 1 << uint(slot)
 		for bucket != nil {
 			e := bucket
 			bucket = bucket.next

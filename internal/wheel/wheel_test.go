@@ -1,6 +1,7 @@
 package wheel
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -83,6 +84,39 @@ func TestManyRandomDeliveredExactlyOnceInOrder(t *testing.T) {
 	}
 }
 
+// BenchmarkAdvanceLargeEmptyDelta jumps a near-empty wheel across a
+// million-tick span per iteration. The per-tick Advance made this O(Δt);
+// skip-ahead makes it O(occupied slots) — the benchmark's ns/op must not
+// scale with the span.
+func BenchmarkAdvanceLargeEmptyDelta(b *testing.B) {
+	for _, span := range []xtime.Time{1_000, 1_000_000, 1_000_000_000} {
+		b.Run(fmt.Sprintf("delta=%d", span), func(b *testing.B) {
+			w := New[int](0)
+			now := xtime.Time(0)
+			for i := 0; i < b.N; i++ {
+				now += span
+				w.Schedule(now, i)
+				if got := w.Advance(now); len(got) != 1 {
+					b.Fatalf("delivered %d", len(got))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdvanceDense ticks through a densely scheduled span, guarding
+// the skip-ahead path against regressing the per-tick hot case.
+func BenchmarkAdvanceDense(b *testing.B) {
+	w := New[int](0)
+	now := xtime.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now++
+		w.Schedule(now+60, i)
+		w.Advance(now)
+	}
+}
+
 func TestAdvanceBackwardPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -107,6 +141,135 @@ func TestNextAfter(t *testing.T) {
 	w.Advance(7)
 	if got := w.NextAfter(); got != 100 {
 		t.Errorf("NextAfter = %v, want 100", got)
+	}
+}
+
+// TestSkipAheadMatchesPerTick drives two wheels with the same random
+// schedule: one advances in large jumps (exercising the skip-ahead path),
+// the other one tick at a time. Both must deliver identical multisets at
+// every horizon.
+func TestSkipAheadMatchesPerTick(t *testing.T) {
+	for _, seed := range []int64{1, 42, 777} {
+		rng := rand.New(rand.NewSource(seed))
+		jump := New[int](0)
+		step := New[int](0)
+		now := xtime.Time(0)
+		id := 0
+		for round := 0; round < 60; round++ {
+			for k := 0; k < rng.Intn(8); k++ {
+				at := now + xtime.Time(1+rng.Intn(20000))
+				jump.Schedule(at, id)
+				step.Schedule(at, id)
+				id++
+			}
+			// Mix tiny and huge advances so jumps cross slot and cascade
+			// boundaries mid-span as well as landing exactly on them.
+			var delta xtime.Time
+			switch rng.Intn(3) {
+			case 0:
+				delta = xtime.Time(rng.Intn(3))
+			case 1:
+				delta = xtime.Time(1 + rng.Intn(10000))
+			default:
+				delta = xtime.Time(64 * (1 + rng.Intn(100))) // span-aligned
+			}
+			now += delta
+			got := jump.Advance(now)
+			var want []int
+			for tick := step.Now() + 1; tick <= now; tick++ {
+				want = append(want, step.Advance(tick)...)
+			}
+			sort.Ints(got)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d round %d: jump delivered %d, per-tick %d", seed, round, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d round %d: delivery mismatch at %d", seed, round, i)
+				}
+			}
+			if jump.Len() != step.Len() {
+				t.Fatalf("seed %d round %d: pending %d vs %d", seed, round, jump.Len(), step.Len())
+			}
+		}
+	}
+}
+
+// TestSkipAheadCascadeBoundaries schedules entries exactly at slot-span
+// multiples (64, 64², 64³, …) and neighbours, then jumps straight across
+// several cascade boundaries at once.
+func TestSkipAheadCascadeBoundaries(t *testing.T) {
+	ats := []xtime.Time{
+		63, 64, 65, 127, 128,
+		4095, 4096, 4097,
+		262143, 262144, 262145,
+		64 * 64 * 64 * 64, // 64^4
+	}
+	w := New[int](0)
+	for i, at := range ats {
+		w.Schedule(at, i)
+	}
+	// One jump to just before the last boundary, then across it.
+	got := w.Advance(64*64*64*64 - 1)
+	if len(got) != len(ats)-1 {
+		t.Fatalf("delivered %d before final boundary, want %d", len(got), len(ats)-1)
+	}
+	got = w.Advance(64 * 64 * 64 * 64)
+	if len(got) != 1 || got[0] != len(ats)-1 {
+		t.Fatalf("final boundary delivery = %v", got)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("pending = %d", w.Len())
+	}
+}
+
+// TestLargeEmptySpanIsConstantTime advances an empty wheel across a
+// trillion ticks — which must complete instantly rather than looping per
+// tick — and checks that the wheel still schedules and delivers correctly
+// from its new position.
+func TestLargeEmptySpanIsConstantTime(t *testing.T) {
+	w := New[int](0)
+	const far = 1_000_000_000_000
+	if got := w.Advance(far); len(got) != 0 {
+		t.Fatalf("empty advance delivered %v", got)
+	}
+	if w.Now() != far {
+		t.Fatalf("Now = %v, want %v", w.Now(), far)
+	}
+	// A single distant entry: the advance must skip the empty span in
+	// O(occupied) jumps, not O(Δt) ticks.
+	w.Schedule(far+5_000_000_000, 1)
+	if got := w.Advance(far + 5_000_000_000 - 1); len(got) != 0 {
+		t.Fatalf("early delivery: %v", got)
+	}
+	got := w.Advance(far + 5_000_000_000)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Advance = %v, want [1]", got)
+	}
+}
+
+// TestOccupancyMatchesBuckets checks the skip-ahead occupancy bitmaps
+// against the actual bucket lists after a random workload.
+func TestOccupancyMatchesBuckets(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := New[int](0)
+	now := xtime.Time(0)
+	for round := 0; round < 100; round++ {
+		for k := 0; k < rng.Intn(20); k++ {
+			w.Schedule(now+xtime.Time(1+rng.Intn(1_000_000)), k)
+		}
+		now += xtime.Time(rng.Intn(5000))
+		w.Advance(now)
+		for l := range w.levels {
+			for s := range w.levels[l] {
+				occupied := w.occ[l]&(1<<uint(s)) != 0
+				if occupied != (w.levels[l][s] != nil) {
+					t.Fatalf("round %d: occ[%d] bit %d = %v, bucket nil = %v",
+						round, l, s, occupied, w.levels[l][s] == nil)
+				}
+			}
+		}
 	}
 }
 
