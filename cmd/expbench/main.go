@@ -21,6 +21,7 @@ import (
 func main() {
 	runIDs := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	noMetrics := flag.Bool("no-metrics", false, "suppress the per-experiment resource delta")
 	flag.Parse()
 
 	if *list {
@@ -35,7 +36,11 @@ func main() {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	if err := bench.Run(os.Stdout, ids...); err != nil {
+	runner := bench.RunWithMetrics
+	if *noMetrics {
+		runner = bench.Run
+	}
+	if err := runner(os.Stdout, ids...); err != nil {
 		fmt.Fprintln(os.Stderr, "expbench:", err)
 		os.Exit(1)
 	}

@@ -173,6 +173,6 @@ func printHelp() {
   REFRESH VIEW v;  EXPLAIN SELECT ...;
   CREATE TRIGGER name ON t ON EXPIRE DO NOTIFY 'msg';
   SET POLICY naive|neutral|exact;
-  ADVANCE TO n;  SHOW TABLES|VIEWS|TIME|STATS;
+  ADVANCE TO n;  SHOW TABLES|VIEWS|TIME|STATS|METRICS;
 `)
 }

@@ -16,6 +16,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -30,11 +32,12 @@ func main() {
 	query := flag.String("query", "SELECT uid FROM pol EXCEPT SELECT uid FROM el", "query to maintain remotely")
 	patches := flag.Bool("patches", false, "ship Theorem 3 patches (difference queries)")
 	ticks := flag.Int("ticks", 20, "how many ticks to observe")
+	metricsAddr := flag.String("metrics", "", "address to serve /metrics JSON and /debug/pprof on (e.g. :9090; server mode)")
 	flag.Parse()
 
 	switch {
 	case *serve != "":
-		runServer(*serve, *ticks)
+		runServer(*serve, *metricsAddr, *ticks)
 	case *connect != "":
 		runClient(*connect, *query, *patches, *ticks)
 	default:
@@ -43,7 +46,26 @@ func main() {
 	}
 }
 
-func runServer(addr string, ticks int) {
+// serveMetrics mounts the database's JSON metrics snapshot and the pprof
+// profiling handlers on their own listener, detached from the wire
+// protocol port so operators can scrape without touching data traffic.
+func serveMetrics(addr string, db *expdb.DB) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", db.MetricsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "expsyncd: metrics listener:", err)
+		}
+	}()
+	fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", addr)
+}
+
+func runServer(addr, metricsAddr string, ticks int) {
 	db := expdb.OpenWithNotify(os.Stdout)
 	if _, err := db.ExecScript(`
 		CREATE TABLE pol (uid INT, deg INT);
@@ -65,6 +87,9 @@ func runServer(addr string, ticks int) {
 		os.Exit(1)
 	}
 	defer srv.Close()
+	if metricsAddr != "" {
+		serveMetrics(metricsAddr, db)
+	}
 	fmt.Printf("serving Figure 1 database on %s; advancing 1 tick/second for %d ticks\n", bound, ticks)
 	for t := 1; t <= ticks; t++ {
 		time.Sleep(time.Second)

@@ -26,7 +26,9 @@
 package expdb
 
 import (
+	"encoding/json"
 	"io"
+	"net/http"
 
 	"expdb/internal/algebra"
 	"expdb/internal/engine"
@@ -60,6 +62,13 @@ type (
 	View = view.View
 	// ViewOption configures a view (see the Mode/Recover re-exports).
 	ViewOption = view.Option
+	// ReadInfo says how a view read was answered: from the
+	// materialisation, by recomputation, or moved to another instant.
+	ReadInfo = view.ReadInfo
+	// Source is the provenance tag inside ReadInfo.
+	Source = view.Source
+	// Incremental is a per-operator maintainer built by NewIncremental.
+	Incremental = view.Incremental
 	// Expr is an algebra expression (build them with expdb/algebra).
 	Expr = algebra.Expr
 	// Result is the outcome of executing a SQL statement.
@@ -72,6 +81,38 @@ type (
 	TriggerFunc = engine.TriggerFunc
 	// IntervalSet is a Schrödinger validity set (§3.3–3.4 of the paper).
 	IntervalSet = interval.Set
+	// MetricsSnapshot is a point-in-time copy of the engine's observability
+	// counters, histograms and per-view maintenance split (JSON-ready).
+	MetricsSnapshot = engine.MetricsSnapshot
+	// SQLMetricsSnapshot is the SQL session's slice of a snapshot:
+	// statements by kind plus parse/exec latency.
+	SQLMetricsSnapshot = sql.MetricsSnapshot
+)
+
+// Where a view read came from (see ReadInfo.Source).
+const (
+	// SourceMaterialised: served from the maintained materialisation.
+	SourceMaterialised = view.SourceMaterialised
+	// SourceRecomputed: the expression was re-evaluated against base data.
+	SourceRecomputed = view.SourceRecomputed
+	// SourceMovedBackward: answered at the most recent valid instant.
+	SourceMovedBackward = view.SourceMovedBackward
+	// SourceMovedForward: answered as of the next valid instant.
+	SourceMovedForward = view.SourceMovedForward
+)
+
+// Sentinel errors. Every layer wraps rather than replaces these, so
+// errors.Is works on anything the façade or the SQL surface returns.
+var (
+	// ErrNoSuchTable: the named base table does not exist.
+	ErrNoSuchTable = engine.ErrNoSuchTable
+	// ErrNoSuchView: the named view does not exist.
+	ErrNoSuchView = engine.ErrNoSuchView
+	// ErrSchemaMismatch: a tuple does not fit the table's schema.
+	ErrSchemaMismatch = engine.ErrSchemaMismatch
+	// ErrInvalidRead: a view with recovery=reject was read outside its
+	// validity interval.
+	ErrInvalidRead = engine.ErrInvalidRead
 )
 
 // Infinity is the expiration time of data that never expires.
@@ -94,41 +135,49 @@ var (
 // Ints builds an all-integer tuple.
 var Ints = tuple.Ints
 
-// View options (see package view for semantics).
-var (
-	// WithPatching enables Theorem 3 patch queues on difference views.
-	WithPatching = view.WithPatching
-	// WithPatchBudget bounds the patch queue to k entries (§3.4.2
-	// trade-off between up-front transfer and future recomputation).
-	WithPatchBudget = view.WithPatchBudget
-	// NewIncremental builds a per-operator maintainer for an expression
-	// (§3.1 "act on a per-operator basis"): invalidations recompute only
-	// the invalid operators, not the whole plan.
-	NewIncremental = view.NewIncremental
-	// WithIntervalValidity answers reads using Schrödinger validity
-	// intervals instead of the single expression expiration time.
-	WithIntervalValidity = func() ViewOption { return view.WithMode(view.ModeInterval) }
-	// WithRecoverReject makes invalid reads fail instead of recomputing.
-	WithRecoverReject = func() ViewOption { return view.WithRecovery(view.RecoverReject) }
-	// WithRecoverBackward answers invalid reads from the most recent
-	// valid instant (requires WithIntervalValidity).
-	WithRecoverBackward = func() ViewOption { return view.WithRecovery(view.RecoverBackward) }
-	// WithRecoverForward answers invalid reads as of the next valid
-	// instant (requires WithIntervalValidity).
-	WithRecoverForward = func() ViewOption { return view.WithRecovery(view.RecoverForward) }
-)
+// View options (see package view for semantics). These are declared
+// functions, not func-typed vars, so they show up in godoc with stable
+// signatures and cannot be reassigned by client code.
+
+// WithPatching enables Theorem 3 patch queues on difference views.
+func WithPatching() ViewOption { return view.WithPatching() }
+
+// WithPatchBudget bounds the patch queue to k entries (§3.4.2 trade-off
+// between up-front transfer and future recomputation).
+func WithPatchBudget(k int) ViewOption { return view.WithPatchBudget(k) }
+
+// NewIncremental builds a per-operator maintainer for an expression
+// (§3.1 "act on a per-operator basis"): invalidations recompute only
+// the invalid operators, not the whole plan.
+func NewIncremental(expr Expr) *Incremental { return view.NewIncremental(expr) }
+
+// WithIntervalValidity answers reads using Schrödinger validity
+// intervals instead of the single expression expiration time.
+func WithIntervalValidity() ViewOption { return view.WithMode(view.ModeInterval) }
+
+// WithRecoverReject makes invalid reads fail instead of recomputing.
+func WithRecoverReject() ViewOption { return view.WithRecovery(view.RecoverReject) }
+
+// WithRecoverBackward answers invalid reads from the most recent valid
+// instant (requires WithIntervalValidity).
+func WithRecoverBackward() ViewOption { return view.WithRecovery(view.RecoverBackward) }
+
+// WithRecoverForward answers invalid reads as of the next valid instant
+// (requires WithIntervalValidity).
+func WithRecoverForward() ViewOption { return view.WithRecovery(view.RecoverForward) }
 
 // Engine options.
-var (
-	// WithEagerSweep removes tuples and fires triggers at the exact
-	// expiration tick (the default).
-	WithEagerSweep = func() EngineOption { return engine.WithSweep(engine.SweepEager, 0) }
-	// WithLazySweep batches physical removal every period ticks.
-	WithLazySweep = func(period Time) EngineOption { return engine.WithSweep(engine.SweepLazy, period) }
-	// WithTimingWheel drives eager expiration with a hierarchical timing
-	// wheel instead of a heap.
-	WithTimingWheel = func() EngineOption { return engine.WithScheduler(engine.SchedulerWheel) }
-)
+
+// WithEagerSweep removes tuples and fires triggers at the exact
+// expiration tick (the default).
+func WithEagerSweep() EngineOption { return engine.WithSweep(engine.SweepEager, 0) }
+
+// WithLazySweep batches physical removal every period ticks.
+func WithLazySweep(period Time) EngineOption { return engine.WithSweep(engine.SweepLazy, period) }
+
+// WithTimingWheel drives eager expiration with a hierarchical timing
+// wheel instead of a heap.
+func WithTimingWheel() EngineOption { return engine.WithScheduler(engine.SchedulerWheel) }
 
 // DB bundles an engine with a SQL session — the one-import entry point.
 type DB struct {
@@ -196,8 +245,45 @@ func (db *DB) CreateView(name string, expr Expr, opts ...ViewOption) (*View, err
 	return db.eng.CreateView(name, expr, opts...)
 }
 
-// ReadView answers a query against a named view at the current tick.
-func (db *DB) ReadView(name string) (*Relation, error) {
-	rel, _, err := db.eng.ReadView(name)
-	return rel, err
+// ReadView answers a query against a named view at the current tick. The
+// ReadInfo says how the answer was produced — cache hit, recomputation,
+// or a read moved to another instant — and at which instant it holds;
+// discarding it loses exactly the validity information the paper's
+// invalidation analysis computes.
+func (db *DB) ReadView(name string) (*Relation, ReadInfo, error) {
+	return db.eng.ReadView(name)
+}
+
+// ReadViewRows is a convenience shim over ReadView for callers that only
+// want the visible rows: the view's answer at the instant the read was
+// (possibly moved and) served.
+func (db *DB) ReadViewRows(name string) ([]Row, error) {
+	rel, info, err := db.eng.ReadView(name)
+	if err != nil {
+		return nil, err
+	}
+	return rel.Rows(info.At), nil
+}
+
+// Metrics returns a snapshot of the engine's observability counters:
+// insert/delete/expiry totals, Advance latency, scheduler load, and the
+// per-view recompute vs patch vs cache-hit split.
+func (db *DB) Metrics() MetricsSnapshot { return db.eng.Metrics() }
+
+// SQLMetrics returns the SQL session's statement and latency counters.
+func (db *DB) SQLMetrics() SQLMetricsSnapshot { return db.sess.Metrics().Snapshot() }
+
+// MetricsHandler serves the combined engine + SQL snapshot as
+// expvar-style JSON — mount it on any mux (expsyncd -metrics does).
+func (db *DB) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := struct {
+			Engine MetricsSnapshot    `json:"engine"`
+			SQL    SQLMetricsSnapshot `json:"sql"`
+		}{db.eng.Metrics(), db.sess.Metrics().Snapshot()}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
 }

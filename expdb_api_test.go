@@ -1,0 +1,355 @@
+package expdb_test
+
+// This file exercises every exported symbol of the public packages expdb
+// and expdb/algebra, so an accidental removal or signature change breaks
+// the build here before it breaks a downstream user.
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"expdb"
+	"expdb/algebra"
+)
+
+// apiDB loads the paper's Figure 1 database through the SQL surface.
+func apiDB(t *testing.T, opts ...expdb.EngineOption) *expdb.DB {
+	t.Helper()
+	db := expdb.Open(opts...)
+	if _, err := db.ExecScript(`
+		CREATE TABLE pol (uid INT, deg INT);
+		CREATE TABLE el  (uid INT, deg INT);
+		INSERT INTO pol VALUES (1, 25) EXPIRES AT 10;
+		INSERT INTO pol VALUES (2, 25) EXPIRES AT 15;
+		INSERT INTO pol VALUES (3, 35) EXPIRES AT 10;
+		INSERT INTO el VALUES (1, 75) EXPIRES AT 5;
+		INSERT INTO el VALUES (2, 85) EXPIRES AT 3;
+		INSERT INTO el VALUES (4, 90) EXPIRES AT 2;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestAPIValuesAndTuples(t *testing.T) {
+	tup := expdb.Tuple{expdb.Int(1), expdb.Float(2.5), expdb.Str("x"), expdb.Bool(true), expdb.Null}
+	if len(tup) != 5 {
+		t.Fatal("tuple constructors")
+	}
+	if got := expdb.Ints(1, 2); len(got) != 2 {
+		t.Fatal("Ints")
+	}
+	schema := expdb.Schema{Cols: []expdb.Column{{Name: "id", Kind: expdb.Int(0).Kind()}}}
+	if schema.Arity() != 1 {
+		t.Fatal("schema arity")
+	}
+	var inf expdb.Time = expdb.Infinity
+	if inf.String() != "inf" {
+		t.Fatalf("Infinity renders %q", inf)
+	}
+}
+
+func TestAPIOpenVariants(t *testing.T) {
+	var buf strings.Builder
+	db := expdb.OpenWithNotify(&buf, expdb.WithEagerSweep(), expdb.WithTimingWheel())
+	db.MustExec(`CREATE TABLE s (id INT)`)
+	db.MustExec(`CREATE TRIGGER gone ON s ON EXPIRE DO NOTIFY 'bye'`)
+	if err := db.Insert("s", expdb.Ints(1), 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertTTL("s", expdb.Ints(2), 100); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	var fn expdb.TriggerFunc = func(table string, row expdb.Row, at expdb.Time) {
+		if table == "s" && row.Texp == 5 && at == 5 {
+			fired++
+		}
+	}
+	if err := db.OnExpire("s", fn); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Advance(6); err != nil {
+		t.Fatal(err)
+	}
+	if db.Now() != 6 || fired != 1 || !strings.Contains(buf.String(), "NOTIFY") {
+		t.Fatalf("now=%v fired=%d notify=%q", db.Now(), fired, buf.String())
+	}
+
+	lazy := expdb.Open(expdb.WithLazySweep(8))
+	lazy.MustExec(`CREATE TABLE s (id INT)`)
+	if err := lazy.Advance(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAPIExecAndPlan(t *testing.T) {
+	db := apiDB(t)
+	res, err := db.Exec(`SELECT * FROM pol`)
+	if err != nil || res.Rel.CountAt(res.At) != 3 {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	res = db.MustExec(`SELECT uid FROM pol ORDER BY uid DESC LIMIT 2`)
+	if len(res.Rows) != 2 || res.Msg != "" {
+		t.Fatalf("ordered rows = %+v", res.Rows)
+	}
+	var e expdb.Expr
+	if e, err = db.Plan(`SELECT uid FROM pol EXCEPT SELECT uid FROM el`); err != nil {
+		t.Fatal(err)
+	}
+	if e.Monotonic() {
+		t.Fatal("difference should be non-monotonic")
+	}
+	var eng *expdb.Engine = db.Engine()
+	if eng.Now() != 0 {
+		t.Fatal("engine clock")
+	}
+}
+
+func TestAPIViewsAndReadInfo(t *testing.T) {
+	db := apiDB(t)
+	expr, err := db.Plan(`SELECT uid FROM pol EXCEPT SELECT uid FROM el`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opts []expdb.ViewOption = []expdb.ViewOption{expdb.WithPatching(), expdb.WithPatchBudget(16)}
+	var v *expdb.View
+	if v, err = db.CreateView("onlypol", expr, opts...); err != nil {
+		t.Fatal(err)
+	}
+	var validity expdb.IntervalSet = v.Validity()
+	if validity.Contains(99) == false && v.Texp() == 0 {
+		t.Fatal("validity surface")
+	}
+	var rel *expdb.Relation
+	var info expdb.ReadInfo
+	if rel, info, err = db.ReadView("onlypol"); err != nil {
+		t.Fatal(err)
+	}
+	var src expdb.Source = info.Source
+	if src != expdb.SourceMaterialised || rel.CountAt(info.At) == 0 {
+		t.Fatalf("info=%+v", info)
+	}
+	rows, err := db.ReadViewRows("onlypol")
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("rows=%v err=%v", rows, err)
+	}
+
+	// The interval-validity mode and every recovery policy must be
+	// constructible; moved reads surface the moved Source values.
+	for _, opt := range []expdb.ViewOption{
+		expdb.WithIntervalValidity(),
+		expdb.WithRecoverReject(),
+		expdb.WithRecoverBackward(),
+		expdb.WithRecoverForward(),
+	} {
+		if opt == nil {
+			t.Fatal("nil view option")
+		}
+	}
+	db2 := apiDB(t)
+	expr2, _ := db2.Plan(`SELECT uid FROM pol EXCEPT SELECT uid FROM el`)
+	if _, err := db2.CreateView("mv", expr2, expdb.WithIntervalValidity(), expdb.WithRecoverBackward()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Advance(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, info, err := db2.ReadView("mv"); err != nil {
+		t.Fatal(err)
+	} else if info.Source != expdb.SourceMovedBackward && info.Source != expdb.SourceMaterialised {
+		t.Fatalf("moved read source = %v", info.Source)
+	}
+	_ = expdb.SourceMovedForward
+	_ = expdb.SourceRecomputed
+}
+
+func TestAPIIncremental(t *testing.T) {
+	db := apiDB(t)
+	expr, err := db.Plan(`SELECT uid FROM pol EXCEPT SELECT uid FROM el`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inc *expdb.Incremental = expdb.NewIncremental(expr)
+	if _, err := inc.Eval(0); err != nil {
+		t.Fatal(err)
+	}
+	inc.Invalidate()
+	if _, err := inc.Eval(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAPISentinelErrors(t *testing.T) {
+	db := apiDB(t)
+	_, err := db.Exec(`SELECT * FROM nope`)
+	if !errors.Is(err, expdb.ErrNoSuchTable) || !errors.Is(err, expdb.ErrNoSuchView) {
+		t.Fatalf("missing-relation error %v", err)
+	}
+	if err := db.Insert("pol", expdb.Ints(1), 99); !errors.Is(err, expdb.ErrSchemaMismatch) {
+		t.Fatalf("schema error %v", err)
+	}
+	expr, _ := db.Plan(`SELECT uid FROM pol EXCEPT SELECT uid FROM el`)
+	if _, err := db.CreateView("rej", expr, expdb.WithRecoverReject()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Advance(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.ReadView("rej"); !errors.Is(err, expdb.ErrInvalidRead) {
+		t.Fatalf("invalid-read error %v", err)
+	}
+}
+
+func TestAPIMetrics(t *testing.T) {
+	db := apiDB(t)
+	var m expdb.MetricsSnapshot = db.Metrics()
+	if m.Inserts != 6 {
+		t.Fatalf("inserts = %d", m.Inserts)
+	}
+	var sm expdb.SQLMetricsSnapshot = db.SQLMetrics()
+	if sm.Statements["insert"] != 6 {
+		t.Fatalf("sql statements = %+v", sm.Statements)
+	}
+
+	// The HTTP handler serves the combined snapshot, and its counters
+	// move under load.
+	h := db.MetricsHandler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `"inserts": 6`) {
+		t.Fatalf("handler body:\n%s", rec.Body.String())
+	}
+	db.MustExec(`INSERT INTO pol VALUES (9, 9) EXPIRES AT 99`)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), `"inserts": 7`) {
+		t.Fatalf("counters did not move under load:\n%s", rec.Body.String())
+	}
+}
+
+func TestAPIAlgebraSurface(t *testing.T) {
+	db := apiDB(t)
+	eng := db.Engine()
+	pol, err := eng.Base("pol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := eng.Base("el")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *algebra.Base = pol
+	rebased := algebra.NewBase("pol2", pol.Rel)
+	if rebased.Schema().Arity() != 2 {
+		t.Fatal("NewBase")
+	}
+
+	// Predicates: every comparison operator and every combinator.
+	var preds []algebra.Predicate
+	for _, op := range []algebra.CmpOp{
+		algebra.OpEq, algebra.OpNe, algebra.OpLt,
+		algebra.OpLe, algebra.OpGt, algebra.OpGe,
+	} {
+		preds = append(preds, algebra.ColConst{Col: 1, Op: op, Const: expdb.Int(25)})
+	}
+	combined := algebra.Or{Preds: []algebra.Predicate{
+		algebra.And{Preds: preds[:2]},
+		algebra.Not{Pred: algebra.True{}},
+		algebra.ColCol{Left: 0, Right: 1, Op: algebra.OpLt},
+	}}
+
+	sel, err := algebra.NewSelect(combined, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *algebra.Select = sel
+	proj, err := algebra.NewProject([]int{0}, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *algebra.Project = proj
+	var prod *algebra.Product = algebra.NewProduct(pol, el)
+	join, err := algebra.NewJoin(algebra.ColCol{Left: 0, Right: 2, Op: algebra.OpEq}, pol, el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *algebra.Join = join
+	ej, err := algebra.EquiJoin(pol, 0, el, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elProj, err := algebra.NewProject([]int{0}, el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union, err := algebra.NewUnion(proj, elProj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *algebra.Union = union
+	inter, err := algebra.NewIntersect(proj, elProj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *algebra.Intersect = inter
+	diff, err := algebra.NewDiff(proj, elProj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *algebra.Diff = diff
+
+	// Aggregation: every kind and policy.
+	funcs := []algebra.AggFunc{
+		{Kind: algebra.AggMin, Col: 1},
+		{Kind: algebra.AggMax, Col: 1},
+		{Kind: algebra.AggSum, Col: 1},
+		{Kind: algebra.AggAvg, Col: 1},
+		{Kind: algebra.AggCount, Col: -1},
+	}
+	for _, policy := range []algebra.AggPolicy{
+		algebra.PolicyNaive, algebra.PolicyNeutral, algebra.PolicyExact,
+	} {
+		agg, err := algebra.NewAgg([]int{1}, funcs, policy, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var _ *algebra.Agg = agg
+		if _, err := algebra.GroupBy([]int{1}, funcs[:1], policy, pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Structural helpers.
+	if algebra.IsMonotonic(diff) || !algebra.IsMonotonic(union) {
+		t.Fatal("IsMonotonic")
+	}
+	nodes := 0
+	algebra.Walk(diff, func(algebra.Expr) { nodes++ })
+	// diff − (π(σ(pol))) \ (π(el)): 6 nodes in all.
+	if nodes != 6 {
+		t.Fatalf("Walk visited %d nodes", nodes)
+	}
+	selOverJoin, err := algebra.NewSelect(algebra.ColConst{Col: 0, Op: algebra.OpGt, Const: expdb.Int(0)}, ej)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten := algebra.PushDownSelections(selOverJoin)
+	if rewritten == nil {
+		t.Fatal("PushDownSelections")
+	}
+
+	// Expressions evaluate through the engine against live data.
+	for _, e := range []algebra.Expr{proj, prod, join, ej, union, inter, diff, rewritten} {
+		if _, err := eng.Query(e); err != nil {
+			t.Fatalf("query %s: %v", e, err)
+		}
+	}
+	var _ []algebra.CriticalRow // Theorem 3 helper-queue element type
+	var _ algebra.AggKind = algebra.AggCount
+}

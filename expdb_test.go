@@ -105,14 +105,24 @@ func TestPublicAlgebraAndViews(t *testing.T) {
 	if err := db.Advance(6); err != nil {
 		t.Fatal(err)
 	}
-	rel, err := db.ReadView("onlypol")
+	rel, info, err := db.ReadView("onlypol")
 	if err != nil {
 		t.Fatal(err)
+	}
+	if info.Source != expdb.SourceMaterialised || info.At != 6 {
+		t.Fatalf("read info = %+v", info)
 	}
 	for _, uid := range []int64{1, 2, 3} {
 		if !rel.Contains(expdb.Ints(uid), 6) {
 			t.Fatalf("uid %d missing", uid)
 		}
+	}
+	rows, err := db.ReadViewRows("onlypol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("visible rows = %d, want 3", len(rows))
 	}
 }
 

@@ -8,8 +8,10 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 	"unicode/utf8"
 )
 
@@ -40,6 +42,18 @@ func All() []Experiment {
 // Run executes the experiments with the given ids (all when empty),
 // writing their reports to w.
 func Run(w io.Writer, ids ...string) error {
+	return run(w, false, ids...)
+}
+
+// RunWithMetrics is Run plus a resource delta after each experiment:
+// wall time, bytes and objects allocated, and GC cycles, measured across
+// the experiment's Run call. Experiments build their engines privately,
+// so process-level deltas are the comparable cross-run figure.
+func RunWithMetrics(w io.Writer, ids ...string) error {
+	return run(w, true, ids...)
+}
+
+func run(w io.Writer, withMetrics bool, ids ...string) error {
 	want := map[string]bool{}
 	for _, id := range ids {
 		want[strings.ToUpper(id)] = true
@@ -51,8 +65,24 @@ func Run(w io.Writer, ids ...string) error {
 		}
 		ran[e.ID] = true
 		fmt.Fprintf(w, "=== %s: %s ===\n", e.ID, e.Title)
+		var before runtime.MemStats
+		var start time.Time
+		if withMetrics {
+			runtime.ReadMemStats(&before)
+			start = time.Now()
+		}
 		if err := e.Run(w); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if withMetrics {
+			elapsed := time.Since(start)
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			fmt.Fprintf(w, "--- metrics: %v wall, %.2f MB allocated, %d allocs, %d GC cycles\n",
+				elapsed.Round(time.Microsecond),
+				float64(after.TotalAlloc-before.TotalAlloc)/(1<<20),
+				after.Mallocs-before.Mallocs,
+				after.NumGC-before.NumGC)
 		}
 		fmt.Fprintln(w)
 	}

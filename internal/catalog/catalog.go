@@ -4,6 +4,7 @@
 package catalog
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -11,6 +12,15 @@ import (
 	"expdb/internal/relation"
 	"expdb/internal/tuple"
 	"expdb/internal/view"
+)
+
+// Sentinel errors for name lookups. Errors returned by the catalog (and
+// everything layered on it: engine, SQL) match these via errors.Is.
+var (
+	// ErrNoSuchTable: the named base relation is not in the catalog.
+	ErrNoSuchTable = errors.New("catalog: no such table")
+	// ErrNoSuchView: the named view is not in the catalog.
+	ErrNoSuchView = errors.New("catalog: no such view")
 )
 
 // Catalog maps names to relations and views. It is safe for concurrent
@@ -49,7 +59,7 @@ func (c *Catalog) DropTable(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.tables[name]; !ok {
-		return fmt.Errorf("catalog: table %q does not exist", name)
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 	}
 	delete(c.tables, name)
 	return nil
@@ -61,7 +71,7 @@ func (c *Catalog) Table(name string) (*relation.Relation, error) {
 	defer c.mu.RUnlock()
 	r, ok := c.tables[name]
 	if !ok {
-		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 	}
 	return r, nil
 }
@@ -117,7 +127,7 @@ func (c *Catalog) DropView(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.views[name]; !ok {
-		return fmt.Errorf("catalog: view %q does not exist", name)
+		return fmt.Errorf("%w: %q", ErrNoSuchView, name)
 	}
 	delete(c.views, name)
 	return nil
@@ -129,7 +139,7 @@ func (c *Catalog) View(name string) (*view.View, error) {
 	defer c.mu.RUnlock()
 	v, ok := c.views[name]
 	if !ok {
-		return nil, fmt.Errorf("catalog: view %q does not exist", name)
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchView, name)
 	}
 	return v, nil
 }

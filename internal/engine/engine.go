@@ -18,6 +18,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"expdb/internal/algebra"
 	"expdb/internal/catalog"
@@ -27,6 +28,21 @@ import (
 	"expdb/internal/view"
 	"expdb/internal/wheel"
 	"expdb/internal/xtime"
+)
+
+// Sentinel errors, re-exported from the layers that produce them so a
+// single import suffices for errors.Is checks. They survive wrapping
+// through the engine and the SQL layer.
+var (
+	// ErrNoSuchTable: a named base relation does not exist.
+	ErrNoSuchTable = catalog.ErrNoSuchTable
+	// ErrNoSuchView: a named view does not exist.
+	ErrNoSuchView = catalog.ErrNoSuchView
+	// ErrSchemaMismatch: a tuple does not conform to its table's schema.
+	ErrSchemaMismatch = tuple.ErrSchemaMismatch
+	// ErrInvalidRead: a view read was rejected because the materialisation
+	// is invalid and the view's recovery policy is RecoverReject.
+	ErrInvalidRead = view.ErrInvalidRead
 )
 
 // SweepMode selects when expired tuples are physically removed and when
@@ -87,7 +103,9 @@ type expiryEvent struct {
 	texp  xtime.Time
 }
 
-// Stats carries engine counters.
+// Stats carries engine counters — the legacy flat form, derived from the
+// richer Metrics snapshot (see Engine.Metrics for histograms, scheduler
+// load and the per-view maintenance split).
 type Stats struct {
 	Inserts        int
 	Deletes        int
@@ -144,7 +162,9 @@ type Engine struct {
 
 	triggers map[string][]TriggerFunc
 	watches  []*viewWatch
-	stats    Stats
+	// m holds the atomic hot-path counters and histograms; unlike the
+	// fields above it is not guarded by mu (see metrics.go).
+	m Metrics
 }
 
 // Option configures an Engine.
@@ -193,9 +213,15 @@ func (e *Engine) Now() xtime.Time {
 
 // Stats returns a copy of the engine counters.
 func (e *Engine) Stats() Stats {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.stats
+	return Stats{
+		Inserts:        int(e.m.Inserts.Load()),
+		Deletes:        int(e.m.Deletes.Load()),
+		TuplesExpired:  int(e.m.TuplesExpired.Load()),
+		TriggersFired:  int(e.m.TriggersFired.Load()),
+		TriggerLatency: e.m.TriggerLagTicks.Load(),
+		Sweeps:         int(e.m.Sweeps.Load()),
+		Compactions:    int(e.m.Compactions.Load()),
+	}
 }
 
 // SchedulerLoad reports how many events the eager scheduler holds and how
@@ -261,7 +287,7 @@ func (e *Engine) insert(table string, t tuple.Tuple, texpAt func(xtime.Time) xti
 		return fmt.Errorf("engine: expiration time %v not after current tick %v", texp, e.now)
 	}
 	changed, prev, had := rel.InsertKeyed(key, t, texp)
-	e.stats.Inserts++
+	e.m.Inserts.Inc()
 	if changed && e.sweepMode == SweepEager {
 		if had && prev != xtime.Infinity {
 			// Lifetime extension: the event queued at prev is now stale.
@@ -289,7 +315,7 @@ func (e *Engine) Delete(table string, t tuple.Tuple) (bool, error) {
 	row, ok := rel.RowByKey(key)
 	if ok {
 		rel.DeleteKey(key)
-		e.stats.Deletes++
+		e.m.Deletes.Inc()
 		if e.sweepMode == SweepEager && row.Texp != xtime.Infinity {
 			// The row's queued event is now stranded.
 			e.stale++
@@ -367,7 +393,8 @@ func (e *Engine) maybeCompact() {
 	if e.stale < 0 {
 		e.stale = 0
 	}
-	e.stats.Compactions++
+	e.m.Compactions.Inc()
+	e.m.StaleDropped.Add(int64(total - len(live)))
 	e.mu.Unlock()
 }
 
@@ -387,6 +414,7 @@ type firedEvent struct {
 func (e *Engine) Advance(to xtime.Time) error {
 	e.advMu.Lock()
 	defer e.advMu.Unlock()
+	start := time.Now()
 
 	e.maybeCompact()
 	e.mu.Lock()
@@ -423,6 +451,8 @@ func (e *Engine) Advance(to xtime.Time) error {
 	for _, fw := range watches {
 		fw.watch.fn(fw.watch.name, fw.at)
 	}
+	e.m.Advances.Inc()
+	e.m.AdvanceNanos.Observe(time.Since(start).Nanoseconds())
 	return nil
 }
 
@@ -476,8 +506,10 @@ func (e *Engine) expireBatch(due []expiryEvent) []firedEvent {
 		}
 		rel.Unlock()
 	}
+	e.m.TuplesExpired.Add(int64(n))
+	e.m.StaleDropped.Add(int64(len(due) - n))
+	e.m.ExpiryBatch.Observe(int64(n))
 	e.mu.Lock()
-	e.stats.TuplesExpired += n
 	// Events that failed the texp check were stale — stranded by a
 	// delete, a lifetime extension or a dropped table.
 	e.stale -= len(due) - n
@@ -511,11 +543,10 @@ func (e *Engine) sweepTables(tick xtime.Time) []firedEvent {
 			events = append(events, firedEvent{table: nt.Name, row: row, at: tick})
 		}
 	}
-	e.mu.Lock()
-	e.stats.Sweeps++
-	e.stats.TuplesExpired += len(events)
-	e.stats.TriggerLatency += latency
-	e.mu.Unlock()
+	e.m.Sweeps.Inc()
+	e.m.TuplesExpired.Add(int64(len(events)))
+	e.m.TriggerLagTicks.Add(latency)
+	e.m.ExpiryBatch.Observe(int64(len(events)))
 	return events
 }
 
@@ -551,8 +582,8 @@ func (e *Engine) dispatch(events []firedEvent) {
 		}
 		fired += len(fns)
 	}
-	e.stats.TriggersFired += fired
 	e.mu.Unlock()
+	e.m.TriggersFired.Add(int64(fired))
 	for _, ev := range events {
 		for _, fn := range snaps[ev.table] {
 			fn(ev.table, ev.row, ev.at)

@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"expdb/internal/metrics"
+	"expdb/internal/pqueue"
+	"expdb/internal/view"
+	"expdb/internal/wheel"
+	"expdb/internal/xtime"
+)
+
+// Metrics is the engine's hot-path instrumentation: atomic counters and
+// fixed-bucket histograms (see internal/metrics). Counters are updated
+// with single atomic adds inside the insert/delete/Advance paths — no
+// locks, no allocations — and read via Engine.Metrics or the legacy
+// Engine.Stats.
+type Metrics struct {
+	Inserts       metrics.Counter
+	Deletes       metrics.Counter
+	TuplesExpired metrics.Counter
+	TriggersFired metrics.Counter
+	Sweeps        metrics.Counter
+	Compactions   metrics.Counter
+	Advances      metrics.Counter
+	// StaleDropped counts scheduler events discarded because their tuple
+	// was deleted, its lifetime extended, or its table dropped.
+	StaleDropped metrics.Counter
+	// TriggerLagTicks is Σ (fire tick − expiration tick); non-zero only
+	// under lazy sweeping, where it measures the §3.2 latency trade-off.
+	TriggerLagTicks metrics.Counter
+	// AdvanceNanos is the wall-clock latency distribution of Advance calls
+	// — the engine heartbeat the paper wants at hardware speed.
+	AdvanceNanos metrics.Histogram
+	// ExpiryBatch is the distribution of tuples physically expired per
+	// eager batch or lazy sweep tick.
+	ExpiryBatch metrics.Histogram
+}
+
+// SchedulerMetrics describes the eager expiry scheduler in a snapshot.
+type SchedulerMetrics struct {
+	Kind    string `json:"kind"`
+	Pending int    `json:"pending"`
+	Stale   int    `json:"stale"`
+	// Exactly one of Wheel/Heap is set, matching Kind.
+	Wheel *wheel.Stats  `json:"wheel,omitempty"`
+	Heap  *pqueue.Stats `json:"heap,omitempty"`
+}
+
+// ViewMetrics is the per-view slice of a snapshot: the recompute vs patch
+// vs cache-hit split that makes the paper's avoided work measurable.
+type ViewMetrics struct {
+	Reads           int                       `json:"reads"`
+	CacheHits       int                       `json:"cache_hits"` // served from the materialisation
+	Recomputations  int                       `json:"recomputations"`
+	PatchesApplied  int                       `json:"patches_applied"`
+	Moved           int                       `json:"moved"`
+	BudgetEvictions int                       `json:"budget_evictions"`
+	PendingPatches  int                       `json:"pending_patches"`
+	Texp            xtime.Time                `json:"texp"`
+	MaterializedAt  xtime.Time                `json:"materialized_at"`
+	RecomputeNanos  metrics.HistogramSnapshot `json:"recompute_nanos"`
+}
+
+// MetricsSnapshot is a point-in-time copy of every engine metric, shaped
+// for JSON export (the expsyncd -metrics endpoint serves it verbatim) and
+// for test assertions.
+type MetricsSnapshot struct {
+	Now             xtime.Time                `json:"now"`
+	Inserts         int64                     `json:"inserts"`
+	Deletes         int64                     `json:"deletes"`
+	TuplesExpired   int64                     `json:"tuples_expired"`
+	TriggersFired   int64                     `json:"triggers_fired"`
+	Sweeps          int64                     `json:"sweeps"`
+	Compactions     int64                     `json:"compactions"`
+	Advances        int64                     `json:"advances"`
+	StaleDropped    int64                     `json:"stale_dropped"`
+	TriggerLagTicks int64                     `json:"trigger_lag_ticks"`
+	AdvanceNanos    metrics.HistogramSnapshot `json:"advance_nanos"`
+	ExpiryBatch     metrics.HistogramSnapshot `json:"expiry_batch_size"`
+	Scheduler       SchedulerMetrics          `json:"scheduler"`
+	Views           map[string]ViewMetrics    `json:"views,omitempty"`
+}
+
+// Metrics returns a consistent-enough snapshot of the engine's counters,
+// histograms, scheduler load and per-view maintenance split. It takes
+// only the engine leaf lock and each view's own lock, so it is safe to
+// call from a monitoring goroutine at any frequency.
+func (e *Engine) Metrics() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Inserts:         e.m.Inserts.Load(),
+		Deletes:         e.m.Deletes.Load(),
+		TuplesExpired:   e.m.TuplesExpired.Load(),
+		TriggersFired:   e.m.TriggersFired.Load(),
+		Sweeps:          e.m.Sweeps.Load(),
+		Compactions:     e.m.Compactions.Load(),
+		Advances:        e.m.Advances.Load(),
+		StaleDropped:    e.m.StaleDropped.Load(),
+		TriggerLagTicks: e.m.TriggerLagTicks.Load(),
+		AdvanceNanos:    e.m.AdvanceNanos.Snapshot(),
+		ExpiryBatch:     e.m.ExpiryBatch.Snapshot(),
+	}
+	e.mu.RLock()
+	s.Now = e.now
+	s.Scheduler.Kind = e.sched.String()
+	s.Scheduler.Stale = e.stale
+	if e.sched == SchedulerWheel {
+		s.Scheduler.Pending = e.timeWheel.Len()
+		ws := e.timeWheel.Stats()
+		s.Scheduler.Wheel = &ws
+	} else {
+		s.Scheduler.Pending = e.heap.Len()
+		hs := e.heap.Stats()
+		s.Scheduler.Heap = &hs
+	}
+	e.mu.RUnlock()
+
+	for _, name := range e.cat.Views() {
+		v, err := e.cat.View(name)
+		if err != nil {
+			continue // dropped since listing
+		}
+		if s.Views == nil {
+			s.Views = make(map[string]ViewMetrics)
+		}
+		s.Views[name] = snapshotView(v)
+	}
+	return s
+}
+
+// snapshotView copies one view's counters under its lock.
+func snapshotView(v *view.View) ViewMetrics {
+	v.Lock()
+	defer v.Unlock()
+	st := v.Stats()
+	return ViewMetrics{
+		Reads:           st.Reads,
+		CacheHits:       st.ServedFromMat,
+		Recomputations:  st.Recomputations,
+		PatchesApplied:  st.PatchesApplied,
+		Moved:           st.Moved,
+		BudgetEvictions: st.BudgetEvictions,
+		PendingPatches:  v.PendingPatches(),
+		Texp:            v.Texp(),
+		MaterializedAt:  v.MaterializedAt(),
+		RecomputeNanos:  v.RecomputeLatency(),
+	}
+}

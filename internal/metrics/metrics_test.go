@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("zero value = %d", c.Load())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Load() != 42 {
+		t.Fatalf("count = %d, want 42", c.Load())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Load() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Load())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Fatalf("count = %d, want 8000", c.Load())
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 46, 47}, {1 << 60, 47}, // clamped to the last bucket
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 1106 {
+		t.Fatalf("count=%d sum=%d, want 5/1106", s.Count, s.Sum)
+	}
+	if s.Mean != 1106.0/5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	// P50 of {1,2,3,100,1000} is 3 → bucket [2,4) → upper bound 3.
+	if s.P50 != 3 {
+		t.Fatalf("p50 = %d, want 3", s.P50)
+	}
+	// P99 lands in the bucket of 1000: [512,1024) → upper bound 1023.
+	if s.P99 != 1023 {
+		t.Fatalf("p99 = %d, want 1023", s.P99)
+	}
+	if s.Max != 1023 {
+		t.Fatalf("max = %d, want 1023", s.Max)
+	}
+	total := int64(0)
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != 5 {
+		t.Fatalf("bucket total = %d, want 5", total)
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	out, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"count":1`, `"sum":5`, `"buckets"`} {
+		if !contains(string(out), want) {
+			t.Fatalf("json %s missing %s", out, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestHotPathNoAllocs is the acceptance gate for instrumenting insert and
+// read paths: recording a metric must never allocate.
+func TestHotPathNoAllocs(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h Histogram
+	n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(9)
+		h.Observe(1234)
+	})
+	if n != 0 {
+		t.Fatalf("hot path allocates %v times per run, want 0", n)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

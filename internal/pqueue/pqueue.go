@@ -20,8 +20,21 @@ type Item[T any] struct {
 
 // Queue is an expiration min-heap. The zero value is ready to use.
 type Queue[T any] struct {
-	h itemHeap[T]
+	h     itemHeap[T]
+	stats Stats
 }
+
+// Stats counts cumulative queue activity. The queue is externally
+// synchronised (its users hold their own locks), so these are plain
+// integers; read them via the Stats method.
+type Stats struct {
+	Pushes int64 `json:"pushes"` // items enqueued
+	Pops   int64 `json:"pops"`   // items dequeued (Pop and PopDue)
+	MaxLen int64 `json:"max_len"`
+}
+
+// Stats returns the activity counters so far.
+func (q *Queue[T]) Stats() Stats { return q.stats }
 
 // New returns an empty queue with capacity hint n.
 func New[T any](n int) *Queue[T] {
@@ -36,6 +49,10 @@ func (q *Queue[T]) Len() int { return len(q.h) }
 // Push enqueues value with priority at.
 func (q *Queue[T]) Push(at xtime.Time, value T) {
 	heap.Push(&q.h, Item[T]{At: at, Value: value})
+	q.stats.Pushes++
+	if n := int64(len(q.h)); n > q.stats.MaxLen {
+		q.stats.MaxLen = n
+	}
 }
 
 // Peek returns the earliest item without removing it; ok is false when the
@@ -52,6 +69,7 @@ func (q *Queue[T]) Pop() (Item[T], bool) {
 	if len(q.h) == 0 {
 		return Item[T]{}, false
 	}
+	q.stats.Pops++
 	return heap.Pop(&q.h).(Item[T]), true
 }
 
@@ -62,6 +80,7 @@ func (q *Queue[T]) PopDue(tau xtime.Time) []Item[T] {
 	for len(q.h) > 0 && q.h[0].At <= tau {
 		due = append(due, heap.Pop(&q.h).(Item[T]))
 	}
+	q.stats.Pops += int64(len(due))
 	return due
 }
 

@@ -51,6 +51,7 @@ var keywords = map[string]bool{
 	"TRIGGER": true, "EXPIRE": true, "DO": true, "NOTIFY": true,
 	"SET": true, "POLICY": true, "ADVANCE": true, "TO": true, "SHOW": true,
 	"TABLES": true, "VIEWS": true, "TIME": true, "STATS": true, "DELETE": true,
+	"METRICS": true,
 	"MIN": true, "MAX": true, "SUM": true, "COUNT": true, "AVG": true,
 	"INT": true, "INTEGER": true, "FLOAT": true, "STRING": true, "TEXT": true,
 	"BOOL": true, "BOOLEAN": true, "TRUE": true, "FALSE": true, "NULL": true,

@@ -1,0 +1,112 @@
+package sql
+
+import (
+	"expdb/internal/metrics"
+)
+
+// StmtKind classifies statements for metrics. The zero kind is Other so
+// an unrecognised statement still lands somewhere.
+type StmtKind int
+
+const (
+	StmtOther StmtKind = iota
+	StmtSelect
+	StmtInsert
+	StmtDelete
+	StmtCreateTable
+	StmtDropTable
+	StmtCreateView
+	StmtCreateTrigger
+	StmtAdvance
+	StmtSet
+	StmtShow
+	StmtRefresh
+	StmtExplain
+	numStmtKinds
+)
+
+var stmtKindNames = [numStmtKinds]string{
+	"other", "select", "insert", "delete", "create_table", "drop_table",
+	"create_view", "create_trigger", "advance", "set", "show", "refresh",
+	"explain",
+}
+
+func (k StmtKind) String() string {
+	if k < 0 || k >= numStmtKinds {
+		return "other"
+	}
+	return stmtKindNames[k]
+}
+
+// kindOf maps a parsed statement to its metrics class.
+func kindOf(stmt Statement) StmtKind {
+	switch stmt.(type) {
+	case *Select:
+		return StmtSelect
+	case *Insert:
+		return StmtInsert
+	case *Delete:
+		return StmtDelete
+	case *CreateTable:
+		return StmtCreateTable
+	case *DropTable:
+		return StmtDropTable
+	case *CreateView:
+		return StmtCreateView
+	case *CreateTrigger:
+		return StmtCreateTrigger
+	case *AdvanceTo:
+		return StmtAdvance
+	case *SetPolicy:
+		return StmtSet
+	case *Show:
+		return StmtShow
+	case *RefreshView:
+		return StmtRefresh
+	case *Explain:
+		return StmtExplain
+	default:
+		return StmtOther
+	}
+}
+
+// Metrics counts SQL activity: statements by kind, errors, and parse/exec
+// latency distributions. All updates are single atomic operations, so one
+// Metrics value may be shared across sessions (the wire server hands every
+// connection the same one).
+type Metrics struct {
+	Statements [numStmtKinds]metrics.Counter
+	ParseErrs  metrics.Counter
+	ExecErrs   metrics.Counter
+	ParseNanos metrics.Histogram
+	ExecNanos  metrics.Histogram
+}
+
+// MetricsSnapshot is a point-in-time copy shaped for JSON export.
+type MetricsSnapshot struct {
+	Statements map[string]int64          `json:"statements,omitempty"`
+	ParseErrs  int64                     `json:"parse_errors"`
+	ExecErrs   int64                     `json:"exec_errors"`
+	ParseNanos metrics.HistogramSnapshot `json:"parse_nanos"`
+	ExecNanos  metrics.HistogramSnapshot `json:"exec_nanos"`
+}
+
+// Snapshot copies the counters. Kinds with a zero count are omitted so the
+// JSON stays readable.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		ParseErrs:  m.ParseErrs.Load(),
+		ExecErrs:   m.ExecErrs.Load(),
+		ParseNanos: m.ParseNanos.Snapshot(),
+		ExecNanos:  m.ExecNanos.Snapshot(),
+	}
+	for k := StmtKind(0); k < numStmtKinds; k++ {
+		if n := m.Statements[k].Load(); n > 0 {
+			if s.Statements == nil {
+				s.Statements = make(map[string]int64)
+			}
+			s.Statements[k.String()] = n
+		}
+	}
+	return s
+}

@@ -1,0 +1,114 @@
+package sql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"expdb/internal/engine"
+)
+
+func TestExplainTree(t *testing.T) {
+	s := newSession(t)
+	res := mustExec(t, s, "EXPLAIN SELECT uid FROM pol EXCEPT SELECT uid FROM el")
+	for _, want := range []string{
+		"tree:",
+		"−  [non-monotonic, texp(e)=3]",
+		"π[1]  [monotonic, texp(e)=inf]",
+		"base(pol)  [monotonic, texp(e)=inf]",
+		"base(el)",
+		"└─ ",
+		"├─ ",
+	} {
+		if !strings.Contains(res.Msg, want) {
+			t.Fatalf("EXPLAIN tree missing %q:\n%s", want, res.Msg)
+		}
+	}
+}
+
+func TestExplainTreeAggPolicy(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "SET POLICY naive")
+	res := mustExec(t, s, "EXPLAIN SELECT deg, COUNT(*) FROM pol GROUP BY deg")
+	if !strings.Contains(res.Msg, "policy=naive") {
+		t.Fatalf("EXPLAIN tree missing aggregation policy:\n%s", res.Msg)
+	}
+	if !strings.Contains(res.Msg, "agg[") {
+		t.Fatalf("EXPLAIN tree missing agg node:\n%s", res.Msg)
+	}
+}
+
+func TestShowMetrics(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "SELECT * FROM pol")
+	res := mustExec(t, s, "SHOW METRICS")
+	for _, want := range []string{`"engine"`, `"sql"`, `"inserts": 6`, `"statements"`, `"select": 1`} {
+		if !strings.Contains(res.Msg, want) {
+			t.Fatalf("SHOW METRICS missing %s:\n%s", want, res.Msg)
+		}
+	}
+	// Counters must move under load.
+	mustExec(t, s, "INSERT INTO pol VALUES (9, 9) EXPIRES AT 99")
+	res = mustExec(t, s, "SHOW METRICS")
+	if !strings.Contains(res.Msg, `"inserts": 7`) {
+		t.Fatalf("insert counter did not advance:\n%s", res.Msg)
+	}
+}
+
+func TestSessionMetrics(t *testing.T) {
+	s := newSession(t)
+	m := s.Metrics().Snapshot()
+	if m.Statements["insert"] != 6 || m.Statements["create_table"] != 2 {
+		t.Fatalf("statement counters = %+v", m.Statements)
+	}
+	if m.ParseNanos.Count == 0 || m.ExecNanos.Count == 0 {
+		t.Fatalf("latency histograms empty: %+v", m)
+	}
+	if _, err := s.Exec("SELECT * FROM"); err == nil {
+		t.Fatal("bad statement accepted")
+	}
+	if _, err := s.Exec("SELECT * FROM missing"); err == nil {
+		t.Fatal("missing table accepted")
+	}
+	m = s.Metrics().Snapshot()
+	if m.ParseErrs != 1 || m.ExecErrs != 1 {
+		t.Fatalf("error counters = parse %d, exec %d, want 1, 1", m.ParseErrs, m.ExecErrs)
+	}
+}
+
+// TestMetricsSharedAcrossSessions: the wire server hands every connection
+// the same Metrics; counts must aggregate.
+func TestMetricsSharedAcrossSessions(t *testing.T) {
+	eng := engine.New()
+	var m Metrics
+	s1 := NewSessionWithMetrics(eng, nil, &m)
+	s2 := NewSessionWithMetrics(eng, nil, &m)
+	mustExec(t, s1, "CREATE TABLE t (id INT)")
+	mustExec(t, s2, "SHOW TIME")
+	if got := m.Snapshot().Statements; got["create_table"] != 1 || got["show"] != 1 {
+		t.Fatalf("shared counters = %+v", got)
+	}
+}
+
+// TestSentinelErrorsThroughSQL: the sentinel errors must survive every
+// layer of wrapping between the catalog and a SQL result.
+func TestSentinelErrorsThroughSQL(t *testing.T) {
+	s := newSession(t)
+	_, err := s.Exec("SELECT * FROM missing")
+	if !errors.Is(err, engine.ErrNoSuchTable) {
+		t.Errorf("errors.Is(%v, ErrNoSuchTable) = false", err)
+	}
+	if !errors.Is(err, engine.ErrNoSuchView) {
+		t.Errorf("errors.Is(%v, ErrNoSuchView) = false", err)
+	}
+	_, err = s.Exec("INSERT INTO pol VALUES (1) EXPIRES AT 99")
+	if !errors.Is(err, engine.ErrSchemaMismatch) {
+		t.Errorf("errors.Is(%v, ErrSchemaMismatch) = false", err)
+	}
+	mustExec(t, s, "CREATE VIEW rej WITH (recovery=reject) AS SELECT uid FROM pol EXCEPT SELECT uid FROM el")
+	mustExec(t, s, "ADVANCE TO 4")
+	_, err = s.Exec("SELECT * FROM rej")
+	if !errors.Is(err, engine.ErrInvalidRead) {
+		t.Errorf("errors.Is(%v, ErrInvalidRead) = false", err)
+	}
+}

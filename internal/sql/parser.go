@@ -139,12 +139,12 @@ func (p *parser) statement() (Statement, error) {
 		}
 		return &SetPolicy{Policy: name}, nil
 	case p.accept(tokKeyword, "SHOW"):
-		for _, what := range []string{"TABLES", "VIEWS", "TIME", "STATS"} {
+		for _, what := range []string{"TABLES", "VIEWS", "TIME", "STATS", "METRICS"} {
 			if p.accept(tokKeyword, what) {
 				return &Show{What: what}, nil
 			}
 		}
-		return nil, fmt.Errorf("sql: SHOW expects TABLES, VIEWS, TIME or STATS, got %s", p.peek())
+		return nil, fmt.Errorf("sql: SHOW expects TABLES, VIEWS, TIME, STATS or METRICS, got %s", p.peek())
 	case p.accept(tokKeyword, "REFRESH"):
 		if _, err := p.expect(tokKeyword, "VIEW"); err != nil {
 			return nil, err

@@ -1,10 +1,12 @@
 package sql
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"expdb/internal/algebra"
 	"expdb/internal/engine"
@@ -35,13 +37,27 @@ type Session struct {
 	eng    *engine.Engine
 	policy algebra.AggPolicy
 	notify io.Writer // trigger NOTIFY sink; nil discards
+	m      *Metrics  // never nil; may be shared across sessions
 }
 
 // NewSession opens a session on eng. Trigger notifications are written to
 // notify (pass nil to discard them).
 func NewSession(eng *engine.Engine, notify io.Writer) *Session {
-	return &Session{eng: eng, policy: algebra.PolicyExact, notify: notify}
+	return NewSessionWithMetrics(eng, notify, nil)
 }
+
+// NewSessionWithMetrics opens a session that records its activity into m.
+// Pass the same Metrics to several sessions to aggregate them (metric
+// updates are atomic); pass nil to give the session a private one.
+func NewSessionWithMetrics(eng *engine.Engine, notify io.Writer, m *Metrics) *Session {
+	if m == nil {
+		m = &Metrics{}
+	}
+	return &Session{eng: eng, policy: algebra.PolicyExact, notify: notify, m: m}
+}
+
+// Metrics returns the session's metrics sink.
+func (s *Session) Metrics() *Metrics { return s.m }
 
 // PlanQuery parses q (which must be a SELECT) and lowers it to an algebra
 // expression bound to the engine's relations, without evaluating it. The
@@ -63,8 +79,11 @@ func (s *Session) PlanQuery(q string) (algebra.Expr, error) {
 
 // Exec parses and executes one statement.
 func (s *Session) Exec(input string) (*Result, error) {
+	start := time.Now()
 	stmt, err := Parse(input)
+	s.m.ParseNanos.Observe(time.Since(start).Nanoseconds())
 	if err != nil {
+		s.m.ParseErrs.Inc()
 		return nil, err
 	}
 	return s.ExecStmt(stmt)
@@ -73,8 +92,11 @@ func (s *Session) Exec(input string) (*Result, error) {
 // ExecScript executes a semicolon-separated script, stopping at the first
 // error; it returns the result of the last statement.
 func (s *Session) ExecScript(input string) (*Result, error) {
+	start := time.Now()
 	stmts, err := ParseScript(input)
+	s.m.ParseNanos.Observe(time.Since(start).Nanoseconds())
 	if err != nil {
+		s.m.ParseErrs.Inc()
 		return nil, err
 	}
 	res := &Result{Msg: "empty script"}
@@ -89,6 +111,17 @@ func (s *Session) ExecScript(input string) (*Result, error) {
 
 // ExecStmt executes a parsed statement.
 func (s *Session) ExecStmt(stmt Statement) (*Result, error) {
+	s.m.Statements[kindOf(stmt)].Inc()
+	start := time.Now()
+	res, err := s.execStmt(stmt)
+	s.m.ExecNanos.Observe(time.Since(start).Nanoseconds())
+	if err != nil {
+		s.m.ExecErrs.Inc()
+	}
+	return res, err
+}
+
+func (s *Session) execStmt(stmt Statement) (*Result, error) {
 	switch st := stmt.(type) {
 	case *CreateTable:
 		cols := make([]tuple.Column, len(st.Cols))
@@ -306,6 +339,16 @@ func (s *Session) execShow(st *Show) (*Result, error) {
 		return &Result{Msg: strings.Join(lines, "\n"), At: s.eng.Now()}, nil
 	case "TIME":
 		return &Result{Msg: s.eng.Now().String(), At: s.eng.Now()}, nil
+	case "METRICS":
+		snap := struct {
+			Engine engine.MetricsSnapshot `json:"engine"`
+			SQL    MetricsSnapshot        `json:"sql"`
+		}{s.eng.Metrics(), s.m.Snapshot()}
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Msg: string(buf), At: s.eng.Now()}, nil
 	default: // STATS
 		st := s.eng.Stats()
 		return &Result{Msg: fmt.Sprintf(
@@ -337,8 +380,82 @@ func (s *Session) execExplain(st *Explain) (*Result, error) {
 	}
 	fmt.Fprintf(&b, "monotonic: %v\n", rewritten.Monotonic())
 	fmt.Fprintf(&b, "texp(e):   %s\n", texp)
-	fmt.Fprintf(&b, "validity:  %s", validity)
-	return &Result{Msg: b.String(), At: now}, nil
+	fmt.Fprintf(&b, "validity:  %s\n", validity)
+	b.WriteString("tree:\n")
+	explainNode(&b, rewritten, now, "", "")
+	return &Result{Msg: strings.TrimRight(b.String(), "\n"), At: now}, nil
+}
+
+// explainNode renders one node of the lowered algebra tree with its
+// per-node monotonicity flag and texp(e) at the current instant, then
+// recurses into its children with box-drawing connectors.
+func explainNode(b *strings.Builder, e algebra.Expr, now xtime.Time, prefix, childPrefix string) {
+	mono := "non-monotonic"
+	if e.Monotonic() {
+		mono = "monotonic"
+	}
+	texp := "?"
+	if t, err := e.ExprTexp(now); err == nil {
+		texp = t.String()
+	}
+	fmt.Fprintf(b, "%s%s  [%s, texp(e)=%s%s]\n",
+		prefix, nodeLabel(e), mono, texp, nodePolicy(e))
+	kids := e.Children()
+	for i, kid := range kids {
+		connector, indent := "├─ ", "│  "
+		if i == len(kids)-1 {
+			connector, indent = "└─ ", "   "
+		}
+		explainNode(b, kid, now, childPrefix+connector, childPrefix+indent)
+	}
+}
+
+// nodeLabel names a node without recursing into its children (Expr.String
+// prints whole subtrees, which the tree layout already conveys).
+func nodeLabel(e algebra.Expr) string {
+	switch n := e.(type) {
+	case *algebra.Base:
+		return fmt.Sprintf("base(%s)", n.Name)
+	case *algebra.Select:
+		return fmt.Sprintf("σ[%s]", n.Pred)
+	case *algebra.Project:
+		cols := make([]string, len(n.Cols))
+		for i, c := range n.Cols {
+			cols[i] = fmt.Sprintf("%d", c+1)
+		}
+		return fmt.Sprintf("π[%s]", strings.Join(cols, ","))
+	case *algebra.Product:
+		return "×"
+	case *algebra.Union:
+		return "∪"
+	case *algebra.Intersect:
+		return "∩"
+	case *algebra.Diff:
+		return "−"
+	case *algebra.Join:
+		return fmt.Sprintf("⋈[%s]", n.Pred)
+	case *algebra.Agg:
+		groups := make([]string, len(n.GroupCols))
+		for i, c := range n.GroupCols {
+			groups[i] = fmt.Sprintf("%d", c+1)
+		}
+		funcs := make([]string, len(n.Funcs))
+		for i, f := range n.Funcs {
+			funcs[i] = f.String()
+		}
+		return fmt.Sprintf("agg[{%s};%s]", strings.Join(groups, ","), strings.Join(funcs, ","))
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// nodePolicy annotates nodes that carry an expiration policy (today only
+// aggregation, §4 of the paper).
+func nodePolicy(e algebra.Expr) string {
+	if a, ok := e.(*algebra.Agg); ok {
+		return ", policy=" + a.Policy.String()
+	}
+	return ""
 }
 
 // orderAndLimit fills res.Rows with the visible rows in ORDER BY order,

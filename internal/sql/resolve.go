@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -220,15 +221,19 @@ func (s *Session) planSelect(sel *Select) (algebra.Expr, error) {
 // bound to the live relation; a view becomes a leaf over the view's
 // current answer (reads go through the view's maintenance machinery).
 func (s *Session) planFrom(ref TableRef) (algebra.Expr, *scope, error) {
-	if base, err := s.eng.Base(ref.Name); err == nil {
+	base, tblErr := s.eng.Base(ref.Name)
+	if tblErr == nil {
 		return base, newScope(ref.Name, base.Schema()), nil
 	}
 	rel, _, err := s.eng.ReadView(ref.Name)
 	if err != nil {
-		return nil, nil, fmt.Errorf("sql: %q is neither a table nor a readable view: %w", ref.Name, err)
+		// Join both lookup failures so errors.Is matches ErrNoSuchTable as
+		// well as ErrNoSuchView (or ErrInvalidRead) through this wrapper.
+		return nil, nil, fmt.Errorf("sql: %q is neither a table nor a readable view: %w",
+			ref.Name, errors.Join(tblErr, err))
 	}
-	base := algebra.NewBase(ref.Name, rel)
-	return base, newScope(ref.Name, rel.Schema()), nil
+	vbase := algebra.NewBase(ref.Name, rel)
+	return vbase, newScope(ref.Name, rel.Schema()), nil
 }
 
 // planItems applies grouping/aggregation and the final projection.

@@ -7,11 +7,17 @@
 package tuple
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"expdb/internal/value"
 )
+
+// ErrSchemaMismatch is the sentinel wrapped by every Validate failure:
+// a tuple whose arity or attribute kinds do not conform to a schema.
+// Match with errors.Is through the engine and SQL layers.
+var ErrSchemaMismatch = errors.New("tuple: schema mismatch")
 
 // Tuple is an ordered list of attribute values.
 type Tuple []value.Value
@@ -210,15 +216,16 @@ func kindsCompatible(a, b value.Kind) bool {
 // non-NULL attribute, a kind compatible with the column.
 func (s Schema) Validate(t Tuple) error {
 	if len(t) != len(s.Cols) {
-		return fmt.Errorf("tuple: arity %d does not match schema arity %d", len(t), len(s.Cols))
+		return fmt.Errorf("%w: arity %d does not match schema arity %d",
+			ErrSchemaMismatch, len(t), len(s.Cols))
 	}
 	for i, v := range t {
 		if v.IsNull() {
 			continue
 		}
 		if !kindsCompatible(v.Kind(), s.Cols[i].Kind) {
-			return fmt.Errorf("tuple: attribute %d (%s) has kind %s, want %s",
-				i+1, s.Cols[i].Name, v.Kind(), s.Cols[i].Kind)
+			return fmt.Errorf("%w: attribute %d (%s) has kind %s, want %s",
+				ErrSchemaMismatch, i+1, s.Cols[i].Name, v.Kind(), s.Cols[i].Kind)
 		}
 	}
 	return nil

@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"expdb/internal/algebra"
 	"expdb/internal/interval"
+	"expdb/internal/metrics"
 	"expdb/internal/pqueue"
 	"expdb/internal/relation"
 	"expdb/internal/tuple"
@@ -27,6 +29,10 @@ import (
 // ErrInvalid is returned by Read when the materialisation is invalid at
 // the requested time and the view's recovery policy is RecoverReject.
 var ErrInvalid = errors.New("view: materialisation invalid at requested time")
+
+// ErrInvalidRead is the public sentinel name for ErrInvalid; the two are
+// the same error value, so errors.Is matches either.
+var ErrInvalidRead = ErrInvalid
 
 // ReadMode selects which validity notion gates reads from the
 // materialisation.
@@ -132,13 +138,19 @@ type ReadInfo struct {
 }
 
 // Stats accumulates maintenance counters, the currency experiments E6/E8
-// report.
+// report. Reads split exactly three ways — ServedFromMat (cache hit),
+// Recomputations and Moved — plus rejected reads, so the avoided-work
+// ratio of the paper's invalidation analysis is directly readable.
 type Stats struct {
 	Reads          int // total Read calls
-	ServedFromMat  int // answered without touching base data
+	ServedFromMat  int // answered without touching base data (cache hits)
 	Recomputations int // full re-evaluations of the expression
 	PatchesApplied int // Theorem 3 patches replayed into the materialisation
 	Moved          int // reads answered at a shifted instant
+	// BudgetEvictions counts critical tuples dropped from the patch queue
+	// because WithPatchBudget bounded it (§3.4.2): future recomputation
+	// traded for a smaller queue.
+	BudgetEvictions int
 }
 
 // patch is one pending Theorem 3 insertion.
@@ -168,6 +180,9 @@ type View struct {
 	queue    *pqueue.Queue[patch]
 	budget   int // max queued patches; 0 = unlimited (§3.4.2 trade-off)
 	stats    Stats
+	// recomputeNanos is the latency distribution of read-triggered full
+	// recomputations — the work the expiration metadata exists to avoid.
+	recomputeNanos metrics.Histogram
 }
 
 // Option configures a View.
@@ -290,6 +305,7 @@ func (v *View) Materialize(tau xtime.Time) error {
 		if v.budget > 0 && len(crit) > v.budget {
 			sort.Slice(crit, func(i, j int) bool { return crit[i].InS < crit[j].InS })
 			v.texp = xtime.Min(v.texp, crit[v.budget].InS)
+			v.stats.BudgetEvictions += len(crit) - v.budget
 			crit = crit[:v.budget]
 		}
 		v.queue = pqueue.New[patch](len(crit))
@@ -327,6 +343,12 @@ func (v *View) Validity() interval.Set { return v.validity }
 
 // Stats returns the maintenance counters so far.
 func (v *View) Stats() Stats { return v.stats }
+
+// RecomputeLatency returns the distribution of read-triggered full
+// recomputation latencies, in nanoseconds.
+func (v *View) RecomputeLatency() metrics.HistogramSnapshot {
+	return v.recomputeNanos.Snapshot()
+}
 
 // PendingPatches returns the number of queued Theorem 3 patches.
 func (v *View) PendingPatches() int {
@@ -392,9 +414,11 @@ func (v *View) Read(tau xtime.Time) (*relation.Relation, ReadInfo, error) {
 	}
 	// RecoverRecompute, or a moved policy with nowhere to move: fall back
 	// to re-materialising.
+	start := time.Now()
 	if err := v.Materialize(tau); err != nil {
 		return nil, ReadInfo{}, err
 	}
+	v.recomputeNanos.Observe(time.Since(start).Nanoseconds())
 	v.stats.Recomputations++
 	return v.mat.Snapshot(tau), ReadInfo{Source: SourceRecomputed, At: tau}, nil
 }

@@ -16,8 +16,9 @@ import (
 
 // Server exposes an engine's relations to remote view nodes.
 type Server struct {
-	eng *engine.Engine
-	ln  net.Listener
+	eng  *engine.Engine
+	sqlm *sql.Metrics // shared by every per-request planning session
+	ln   net.Listener
 
 	mu      sync.Mutex
 	stats   Stats
@@ -26,7 +27,15 @@ type Server struct {
 }
 
 // NewServer wraps eng; call Serve with a listener to start.
-func NewServer(eng *engine.Engine) *Server { return &Server{eng: eng} }
+func NewServer(eng *engine.Engine) *Server {
+	return &Server{eng: eng, sqlm: &sql.Metrics{}}
+}
+
+// SQLMetrics returns the server's aggregated SQL planning metrics. The
+// same sink is handed to every per-request session, so remote
+// materialisations show up alongside local statements when the caller
+// merges snapshots.
+func (s *Server) SQLMetrics() *sql.Metrics { return s.sqlm }
 
 // Listen starts accepting on addr (e.g. "127.0.0.1:0") in a background
 // goroutine and returns the bound address.
@@ -111,7 +120,7 @@ func (s *Server) respond(req *Request) *Response {
 	case MsgTime:
 		return resp
 	case MsgMaterialize:
-		sess := sql.NewSession(s.eng, nil)
+		sess := sql.NewSessionWithMetrics(s.eng, nil, s.sqlm)
 		expr, err := sess.PlanQuery(req.Query)
 		if err != nil {
 			resp.Err = err.Error()
