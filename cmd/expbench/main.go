@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	expbench              # run everything
-//	expbench -run E4,E6   # run a subset
-//	expbench -list        # list experiments
+//	expbench                    # run everything
+//	expbench -run E4,E6         # run a subset
+//	expbench -list              # list experiments
+//	expbench -json BENCH.json   # also write per-experiment records
 package main
 
 import (
@@ -22,6 +23,7 @@ func main() {
 	runIDs := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	noMetrics := flag.Bool("no-metrics", false, "suppress the per-experiment resource delta")
+	jsonOut := flag.String("json", "", "write per-experiment resource records to FILE (implies metrics)")
 	flag.Parse()
 
 	if *list {
@@ -35,6 +37,25 @@ func main() {
 		for _, id := range strings.Split(*runIDs, ",") {
 			ids = append(ids, strings.TrimSpace(id))
 		}
+	}
+	if *jsonOut != "" {
+		records, err := bench.RunJSON(os.Stdout, ids...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "expbench:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "expbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := bench.WriteRecords(f, records); err != nil {
+			fmt.Fprintln(os.Stderr, "expbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records to %s\n", len(records), *jsonOut)
+		return
 	}
 	runner := bench.RunWithMetrics
 	if *noMetrics {

@@ -144,6 +144,11 @@ func splitStatements(script string) []string {
 }
 
 func printResult(db *expdb.DB, res *expdb.Result) {
+	// EXPLAIN ANALYZE carries both the annotated plan (Msg) and the
+	// executed relation; show the plan first, never swallow it.
+	if res.Msg != "" {
+		fmt.Println(res.Msg)
+	}
 	if res.Rows != nil {
 		fmt.Println("texp | (ordered)")
 		for _, row := range res.Rows {
@@ -155,10 +160,6 @@ func printResult(db *expdb.DB, res *expdb.Result) {
 	if res.Rel != nil {
 		fmt.Print(res.Rel.Render(res.At))
 		fmt.Printf("(%d row(s) at time %s)\n", res.Rel.CountAt(res.At), res.At)
-		return
-	}
-	if res.Msg != "" {
-		fmt.Println(res.Msg)
 	}
 }
 
@@ -170,9 +171,10 @@ func printHelp() {
   SELECT cols|*|aggs FROM t [JOIN u ON a = b] [WHERE cond] [GROUP BY cols]
          [UNION|EXCEPT|INTERSECT SELECT ...] [ORDER BY col [DESC], ...] [LIMIT n];
   CREATE [MATERIALIZED] VIEW v [WITH (patching, mode=interval, recovery=backward)] AS SELECT ...;
-  REFRESH VIEW v;  EXPLAIN SELECT ...;
+  REFRESH VIEW v;  EXPLAIN [ANALYZE] SELECT ...;
   CREATE TRIGGER name ON t ON EXPIRE DO NOTIFY 'msg';
   SET POLICY naive|neutral|exact;
-  ADVANCE TO n;  SHOW TABLES|VIEWS|TIME|STATS|METRICS;
+  ADVANCE TO n;  SHOW TABLES|VIEWS|TIME|STATS|METRICS|TRACES;
+  SHOW EVENTS [LIMIT n];
 `)
 }

@@ -46,12 +46,15 @@ func main() {
 	}
 }
 
-// serveMetrics mounts the database's JSON metrics snapshot and the pprof
-// profiling handlers on their own listener, detached from the wire
-// protocol port so operators can scrape without touching data traffic.
+// serveMetrics mounts the database's JSON metrics snapshot, the
+// lifecycle-event and slow-query-trace rings, and the pprof profiling
+// handlers on their own listener, detached from the wire protocol port
+// so operators can scrape without touching data traffic.
 func serveMetrics(addr string, db *expdb.DB) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", db.MetricsHandler())
+	mux.Handle("/debug/events", db.EventsHandler())
+	mux.Handle("/debug/traces", db.TracesHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -62,7 +65,7 @@ func serveMetrics(addr string, db *expdb.DB) {
 			fmt.Fprintln(os.Stderr, "expsyncd: metrics listener:", err)
 		}
 	}()
-	fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", addr)
+	fmt.Printf("metrics on http://%s/metrics (events/traces/pprof under /debug/)\n", addr)
 }
 
 func runServer(addr, metricsAddr string, ticks int) {

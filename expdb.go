@@ -29,12 +29,14 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"time"
 
 	"expdb/internal/algebra"
 	"expdb/internal/engine"
 	"expdb/internal/interval"
 	"expdb/internal/relation"
 	"expdb/internal/sql"
+	"expdb/internal/trace"
 	"expdb/internal/tuple"
 	"expdb/internal/value"
 	"expdb/internal/view"
@@ -87,6 +89,18 @@ type (
 	// SQLMetricsSnapshot is the SQL session's slice of a snapshot:
 	// statements by kind plus parse/exec latency.
 	SQLMetricsSnapshot = sql.MetricsSnapshot
+	// TraceID identifies one traced operation; statements stamp it on
+	// their Result and on every lifecycle event they cause.
+	TraceID = trace.ID
+	// Event is one structured lifecycle record: a tuple-expiry batch, a
+	// view invalidation/recompute/patch, a sweep, a budget eviction.
+	Event = trace.Event
+	// EventKind classifies an Event.
+	EventKind = trace.EventKind
+	// Span is one timed step of a traced statement.
+	Span = trace.Span
+	// Trace is a recorded slow statement: text, tick, span tree, total.
+	Trace = trace.Trace
 )
 
 // Where a view read came from (see ReadInfo.Source).
@@ -179,6 +193,18 @@ func WithLazySweep(period Time) EngineOption { return engine.WithSweep(engine.Sw
 // wheel instead of a heap.
 func WithTimingWheel() EngineOption { return engine.WithScheduler(engine.SchedulerWheel) }
 
+// WithSlowQueryThreshold enables the slow-query log: any statement whose
+// wall time reaches d has its full span tree recorded (SHOW TRACES,
+// DB.Traces, /debug/traces). Default off.
+func WithSlowQueryThreshold(d time.Duration) EngineOption {
+	return engine.WithSlowQueryThreshold(d)
+}
+
+// WithEventLogCapacity sizes the lifecycle-event ring buffer (default
+// engine.DefaultEventLogCapacity entries; oldest events are dropped and
+// counted once it fills).
+func WithEventLogCapacity(n int) EngineOption { return engine.WithEventLogCapacity(n) }
+
 // DB bundles an engine with a SQL session — the one-import entry point.
 type DB struct {
 	eng  *engine.Engine
@@ -247,7 +273,8 @@ func (db *DB) CreateView(name string, expr Expr, opts ...ViewOption) (*View, err
 
 // ReadView answers a query against a named view at the current tick. The
 // ReadInfo says how the answer was produced — cache hit, recomputation,
-// or a read moved to another instant — and at which instant it holds;
+// patched, or a read moved to another instant — at which instant it
+// holds, and under which trace ID its lifecycle events were logged;
 // discarding it loses exactly the validity information the paper's
 // invalidation analysis computes.
 func (db *DB) ReadView(name string) (*Relation, ReadInfo, error) {
@@ -281,6 +308,60 @@ func (db *DB) MetricsHandler() http.Handler {
 			Engine MetricsSnapshot    `json:"engine"`
 			SQL    SQLMetricsSnapshot `json:"sql"`
 		}{db.eng.Metrics(), db.sess.Metrics().Snapshot()}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+}
+
+// Events returns the retained lifecycle events, oldest first: expiry
+// batches, sweeps, compactions, view invalidations/recomputes/patches,
+// budget evictions, and wire materialisations, each tagged with the
+// trace ID of the statement or Advance that caused it.
+func (db *DB) Events() []Event { return db.eng.Events().Snapshot(0) }
+
+// EventsDropped reports how many lifecycle events have been discarded by
+// the ring buffer (oldest first) since Open.
+func (db *DB) EventsDropped() uint64 { return db.eng.Events().Dropped() }
+
+// Traces returns the retained slow-query traces, oldest first. Empty
+// unless the slow-query log was enabled with WithSlowQueryThreshold or
+// SetSlowQueryThreshold.
+func (db *DB) Traces() []Trace { return db.eng.Traces().Snapshot() }
+
+// SetSlowQueryThreshold changes the slow-query threshold at runtime;
+// d <= 0 disables recording. Safe to call concurrently with statements.
+func (db *DB) SetSlowQueryThreshold(d time.Duration) { db.eng.SetSlowQueryThreshold(d) }
+
+// EventsHandler serves the lifecycle-event ring as JSON:
+// {"events": [...], "dropped": N, "total": N} — mount it on any mux
+// (expsyncd -metrics mounts it at /debug/events).
+func (db *DB) EventsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		log := db.eng.Events()
+		snap := struct {
+			Events  []Event `json:"events"`
+			Dropped uint64  `json:"dropped"`
+			Total   uint64  `json:"total"`
+		}{log.Snapshot(0), log.Dropped(), log.Total()}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+}
+
+// TracesHandler serves the slow-query trace ring as JSON:
+// {"traces": [...], "total": N} — mount it on any mux (expsyncd
+// -metrics mounts it at /debug/traces).
+func (db *DB) TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		store := db.eng.Traces()
+		snap := struct {
+			Traces []Trace `json:"traces"`
+			Total  uint64  `json:"total"`
+		}{store.Snapshot(), store.Total()}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

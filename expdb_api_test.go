@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"expdb"
 	"expdb/algebra"
@@ -352,4 +353,126 @@ func TestAPIAlgebraSurface(t *testing.T) {
 	}
 	var _ []algebra.CriticalRow // Theorem 3 helper-queue element type
 	var _ algebra.AggKind = algebra.AggCount
+}
+
+// TestAPITracing exercises the observability surface end to end: typed
+// events and traces, the slow-query options, the trace ID threading from
+// statement results into the lifecycle log, and both debug handlers.
+func TestAPITracing(t *testing.T) {
+	db := apiDB(t,
+		expdb.WithSlowQueryThreshold(time.Nanosecond),
+		expdb.WithEventLogCapacity(64))
+
+	// Every statement result carries a trace ID.
+	adv := db.MustExec("ADVANCE TO 6")
+	var tid expdb.TraceID = adv.TraceID
+	if tid == 0 {
+		t.Fatal("statement result without a trace ID")
+	}
+
+	// The Advance's expiry batches appear as typed events under that ID.
+	var events []expdb.Event = db.Events()
+	if len(events) == 0 {
+		t.Fatal("no lifecycle events after an Advance past three expirations")
+	}
+	var expired int64
+	for _, ev := range events {
+		var k expdb.EventKind = ev.Kind
+		if k.String() == "expiry" && ev.Trace == tid {
+			expired += ev.Count
+		}
+	}
+	if expired != 3 {
+		t.Fatalf("expiry events under trace %s count %d tuples, want 3 (el)", tid, expired)
+	}
+	if db.EventsDropped() != 0 {
+		t.Fatalf("dropped = %d with a 64-slot ring", db.EventsDropped())
+	}
+
+	// ReadInfo and the event log are built from the same struct: the
+	// trace IDs must match (the single-source-of-truth guarantee).
+	if _, err := db.Exec("CREATE VIEW onlypol WITH (patching) AS SELECT uid FROM pol EXCEPT SELECT uid FROM el"); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("ADVANCE TO 8")
+	_, info, err := db.ReadView("onlypol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TraceID == 0 {
+		t.Fatal("ReadInfo without a trace ID")
+	}
+	var last expdb.Event
+	for _, ev := range db.Events() {
+		if ev.Name == "onlypol" && ev.Kind.String() != "view-recompute" {
+			last = ev
+		}
+	}
+	if last.Trace != info.TraceID {
+		t.Fatalf("event trace %s != ReadInfo trace %s — surfaces disagree", last.Trace, info.TraceID)
+	}
+	if last.Texp != info.Texp {
+		t.Fatalf("event texp %v != ReadInfo texp %v", last.Texp, info.Texp)
+	}
+
+	// Slow-query log: the 1ns threshold traces every statement.
+	sel := db.MustExec("SELECT * FROM pol")
+	var traces []expdb.Trace = db.Traces()
+	found := false
+	for _, tr := range traces {
+		if tr.ID == sel.TraceID {
+			found = true
+			if tr.Stmt != "SELECT * FROM pol" {
+				t.Errorf("trace stmt = %q", tr.Stmt)
+			}
+			var root *expdb.Span = tr.Root
+			if root == nil || len(root.Children) == 0 {
+				t.Errorf("trace without spans: %+v", tr)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no trace recorded for the SELECT (id %s) among %d traces", sel.TraceID, len(traces))
+	}
+
+	// Runtime toggle off stops recording.
+	db.SetSlowQueryThreshold(0)
+	before := len(db.Traces())
+	db.MustExec("SELECT * FROM pol")
+	if got := len(db.Traces()); got != before {
+		t.Fatalf("traces recorded with log off: %d -> %d", before, got)
+	}
+
+	// Both debug handlers serve JSON.
+	rec := httptest.NewRecorder()
+	db.EventsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("events content type %q", ct)
+	}
+	for _, want := range []string{`"events"`, `"dropped"`, `"total"`, `"kind": "expiry"`} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("events payload missing %s:\n%s", want, rec.Body.String())
+		}
+	}
+	rec = httptest.NewRecorder()
+	db.TracesHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	for _, want := range []string{`"traces"`, `"total"`, `"stmt": "SELECT * FROM pol"`} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("traces payload missing %s:\n%s", want, rec.Body.String())
+		}
+	}
+
+	// SQL surface: SHOW EVENTS / SHOW TRACES reach the same rings.
+	if res := db.MustExec("SHOW EVENTS LIMIT 2"); len(strings.Split(res.Msg, "\n")) != 2 {
+		t.Fatalf("SHOW EVENTS LIMIT 2:\n%s", res.Msg)
+	}
+	if res := db.MustExec("SHOW TRACES"); !strings.Contains(res.Msg, "SELECT * FROM pol") {
+		t.Fatalf("SHOW TRACES:\n%s", res.Msg)
+	}
+
+	// EXPLAIN ANALYZE through the façade returns per-node actuals.
+	res := db.MustExec("EXPLAIN ANALYZE SELECT uid FROM pol")
+	if !strings.Contains(res.Msg, "(actual: rows in=") {
+		t.Fatalf("EXPLAIN ANALYZE missing actuals:\n%s", res.Msg)
+	}
 }

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -50,15 +51,46 @@ func Run(w io.Writer, ids ...string) error {
 // the experiment's Run call. Experiments build their engines privately,
 // so process-level deltas are the comparable cross-run figure.
 func RunWithMetrics(w io.Writer, ids ...string) error {
-	return run(w, true, ids...)
+	_, err := runCollect(w, true, ids...)
+	return err
+}
+
+// Record is one experiment's machine-readable resource delta, for
+// regression tracking across commits (cmd/expbench -json).
+type Record struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	WallNs int64  `json:"wall_ns"`
+	Bytes  uint64 `json:"bytes"`
+	Allocs uint64 `json:"allocs"`
+	GCs    uint32 `json:"gcs"`
+}
+
+// RunJSON runs the experiments with metrics, writes the human report to
+// w, and returns the per-experiment records for serialisation.
+func RunJSON(w io.Writer, ids ...string) ([]Record, error) {
+	return runCollect(w, true, ids...)
+}
+
+// WriteRecords serialises records as indented JSON.
+func WriteRecords(w io.Writer, records []Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
 }
 
 func run(w io.Writer, withMetrics bool, ids ...string) error {
+	_, err := runCollect(w, withMetrics, ids...)
+	return err
+}
+
+func runCollect(w io.Writer, withMetrics bool, ids ...string) ([]Record, error) {
 	want := map[string]bool{}
 	for _, id := range ids {
 		want[strings.ToUpper(id)] = true
 	}
 	ran := map[string]bool{}
+	var records []Record
 	for _, e := range All() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
@@ -72,7 +104,7 @@ func run(w io.Writer, withMetrics bool, ids ...string) error {
 			start = time.Now()
 		}
 		if err := e.Run(w); err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			return nil, fmt.Errorf("%s: %w", e.ID, err)
 		}
 		if withMetrics {
 			elapsed := time.Since(start)
@@ -83,6 +115,14 @@ func run(w io.Writer, withMetrics bool, ids ...string) error {
 				float64(after.TotalAlloc-before.TotalAlloc)/(1<<20),
 				after.Mallocs-before.Mallocs,
 				after.NumGC-before.NumGC)
+			records = append(records, Record{
+				ID:     e.ID,
+				Title:  e.Title,
+				WallNs: elapsed.Nanoseconds(),
+				Bytes:  after.TotalAlloc - before.TotalAlloc,
+				Allocs: after.Mallocs - before.Mallocs,
+				GCs:    after.NumGC - before.NumGC,
+			})
 		}
 		fmt.Fprintln(w)
 	}
@@ -94,9 +134,9 @@ func run(w io.Writer, withMetrics bool, ids ...string) error {
 	}
 	if len(missing) > 0 {
 		sort.Strings(missing)
-		return fmt.Errorf("bench: unknown experiment id(s): %s", strings.Join(missing, ", "))
+		return nil, fmt.Errorf("bench: unknown experiment id(s): %s", strings.Join(missing, ", "))
 	}
-	return nil
+	return records, nil
 }
 
 // table is a tiny column-aligned printer for experiment reports.

@@ -18,12 +18,14 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"expdb/internal/algebra"
 	"expdb/internal/catalog"
 	"expdb/internal/pqueue"
 	"expdb/internal/relation"
+	"expdb/internal/trace"
 	"expdb/internal/tuple"
 	"expdb/internal/view"
 	"expdb/internal/wheel"
@@ -165,6 +167,14 @@ type Engine struct {
 	// m holds the atomic hot-path counters and histograms; unlike the
 	// fields above it is not guarded by mu (see metrics.go).
 	m Metrics
+	// events and traces are the per-operation observability sinks: a
+	// bounded ring of lifecycle events and the slow-query trace store.
+	// Both are internally synchronised leaves of the lock hierarchy —
+	// safe to emit into under any engine, view or table lock.
+	events *trace.Log
+	traces *trace.Store
+	// slowNanos is the slow-query threshold in nanoseconds (0 = off).
+	slowNanos atomic.Int64
 }
 
 // Option configures an Engine.
@@ -194,6 +204,8 @@ func New(opts ...Option) *Engine {
 		triggers:   make(map[string][]TriggerFunc),
 		heap:       pqueue.New[expiryEvent](0),
 		timeWheel:  wheel.New[expiryEvent](0),
+		events:     trace.NewLog(DefaultEventLogCapacity),
+		traces:     trace.NewStore(DefaultTraceLogCapacity),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -347,7 +359,7 @@ func (e *Engine) schedule(table, key string, texp xtime.Time) {
 // liveness can be checked against the tables themselves (an event is live
 // iff its tuple's stored expiration equals the event's). Only the heap
 // compacts: wheel buckets shed stale entries as their slots are visited.
-func (e *Engine) maybeCompact() {
+func (e *Engine) maybeCompact(tid trace.ID) {
 	e.mu.Lock()
 	if e.sched != SchedulerHeap || e.stale < compactMinStale || 2*e.stale < e.heap.Len() {
 		e.mu.Unlock()
@@ -395,7 +407,12 @@ func (e *Engine) maybeCompact() {
 	}
 	e.m.Compactions.Inc()
 	e.m.StaleDropped.Add(int64(total - len(live)))
+	now := e.now
 	e.mu.Unlock()
+	e.events.Emit(trace.Event{
+		Trace: tid, Kind: trace.EvCompaction, Tick: now,
+		Count: int64(total - len(live)),
+	})
 }
 
 // firedEvent is an expiration whose triggers are due for dispatch.
@@ -411,12 +428,21 @@ type firedEvent struct {
 // may freely issue engine operations (inserts, deletes, queries, view
 // reads) — but not Advance or Sweep, which serialise on the same
 // pipeline mutex.
-func (e *Engine) Advance(to xtime.Time) error {
+func (e *Engine) Advance(to xtime.Time) error { return e.AdvanceTraced(to, 0) }
+
+// AdvanceTraced is Advance with the caller's trace ID, so the lifecycle
+// events the advance causes (expiry batches, sweeps, compactions, view
+// invalidations) are attributable to the statement that moved the clock.
+// A zero ID is replaced with a fresh one.
+func (e *Engine) AdvanceTraced(to xtime.Time, tid trace.ID) error {
+	if tid == 0 {
+		tid = trace.NextID()
+	}
 	e.advMu.Lock()
 	defer e.advMu.Unlock()
 	start := time.Now()
 
-	e.maybeCompact()
+	e.maybeCompact(tid)
 	e.mu.Lock()
 	if to < e.now {
 		now := e.now
@@ -440,13 +466,13 @@ func (e *Engine) Advance(to xtime.Time) error {
 
 	var events []firedEvent
 	if e.sweepMode == SweepEager {
-		events = e.expireBatch(due)
+		events = e.expireBatch(due, to, tid)
 	} else {
 		for _, tick := range sweeps {
-			events = append(events, e.sweepTables(tick)...)
+			events = append(events, e.sweepTables(tick, tid)...)
 		}
 	}
-	watches := e.checkWatches(to)
+	watches := e.checkWatches(to, tid)
 	e.dispatch(events)
 	for _, fw := range watches {
 		fw.watch.fn(fw.watch.name, fw.at)
@@ -477,8 +503,9 @@ func (e *Engine) popDue(to xtime.Time) []expiryEvent {
 // was deleted, its lifetime extended (the later event is already
 // queued), or concurrently re-inserted since popDue — are dropped here
 // and deducted from the stale count. The returned events preserve the
-// scheduler's time order for dispatch.
-func (e *Engine) expireBatch(due []expiryEvent) []firedEvent {
+// scheduler's time order for dispatch. One lifecycle event per table
+// records the batch in the engine's event log, tagged with tid.
+func (e *Engine) expireBatch(due []expiryEvent, to xtime.Time, tid trace.ID) []firedEvent {
 	if len(due) == 0 {
 		return nil
 	}
@@ -494,6 +521,7 @@ func (e *Engine) expireBatch(due []expiryEvent) []firedEvent {
 		if err != nil {
 			continue // table dropped
 		}
+		removed := 0
 		rel.Lock()
 		for _, i := range idxs {
 			ev := due[i]
@@ -501,10 +529,17 @@ func (e *Engine) expireBatch(due []expiryEvent) []firedEvent {
 				rel.DeleteKey(ev.key)
 				rows[i] = row
 				expired[i] = true
-				n++
+				removed++
 			}
 		}
 		rel.Unlock()
+		n += removed
+		if removed > 0 {
+			e.events.Emit(trace.Event{
+				Trace: tid, Kind: trace.EvExpiry, Name: table,
+				Tick: to, Count: int64(removed),
+			})
+		}
 	}
 	e.m.TuplesExpired.Add(int64(n))
 	e.m.StaleDropped.Add(int64(len(due) - n))
@@ -530,8 +565,9 @@ func (e *Engine) expireBatch(due []expiryEvent) []firedEvent {
 }
 
 // sweepTables removes every tuple expired at tick from every table,
-// locking tables one at a time.
-func (e *Engine) sweepTables(tick xtime.Time) []firedEvent {
+// locking tables one at a time. Each table that shed tuples gets a sweep
+// lifecycle event tagged with tid.
+func (e *Engine) sweepTables(tick xtime.Time, tid trace.ID) []firedEvent {
 	var events []firedEvent
 	var latency int64
 	for _, nt := range e.cat.TableSet() {
@@ -541,6 +577,12 @@ func (e *Engine) sweepTables(tick xtime.Time) []firedEvent {
 		for _, row := range removed {
 			latency += int64(tick - row.Texp)
 			events = append(events, firedEvent{table: nt.Name, row: row, at: tick})
+		}
+		if len(removed) > 0 {
+			e.events.Emit(trace.Event{
+				Trace: tid, Kind: trace.EvSweep, Name: nt.Name,
+				Tick: tick, Count: int64(len(removed)),
+			})
 		}
 	}
 	e.m.Sweeps.Inc()
@@ -560,7 +602,7 @@ func (e *Engine) Sweep() {
 	e.mu.RLock()
 	now := e.now
 	e.mu.RUnlock()
-	events := e.sweepTables(now)
+	events := e.sweepTables(now, trace.NextID())
 	e.dispatch(events)
 }
 
@@ -670,6 +712,10 @@ func (e *Engine) CreateView(name string, expr algebra.Expr, opts ...view.Option)
 	if err := e.cat.RegisterView(v); err != nil {
 		return nil, err
 	}
+	e.events.Emit(trace.Event{
+		Trace: trace.NextID(), Kind: trace.EvViewRecompute, Name: name,
+		Tick: now, Texp: v.Texp(),
+	})
 	return v, nil
 }
 
@@ -677,6 +723,18 @@ func (e *Engine) CreateView(name string, expr algebra.Expr, opts ...view.Option)
 // Reads may mutate the view (patch application, recomputation), so the
 // view's own lock is held, plus read locks on its base relations.
 func (e *Engine) ReadView(name string) (*relation.Relation, view.ReadInfo, error) {
+	return e.ReadViewTraced(name, 0)
+}
+
+// ReadViewTraced is ReadView with the caller's trace ID; a zero ID is
+// replaced with a fresh one. The returned ReadInfo carries the ID
+// actually used, and the lifecycle events the read emits (cache hit vs
+// patch vs recompute vs move, plus budget evictions) are derived from
+// that same ReadInfo.
+func (e *Engine) ReadViewTraced(name string, tid trace.ID) (*relation.Relation, view.ReadInfo, error) {
+	if tid == 0 {
+		tid = trace.NextID()
+	}
 	v, err := e.cat.View(name)
 	if err != nil {
 		return nil, view.ReadInfo{}, err
@@ -688,11 +746,25 @@ func (e *Engine) ReadView(name string) (*relation.Relation, view.ReadInfo, error
 	e.mu.RLock()
 	now := e.now
 	e.mu.RUnlock()
-	return v.Read(now)
+	evictedBefore := v.Stats().BudgetEvictions
+	rel, info, err := v.Read(now)
+	if err != nil {
+		return nil, view.ReadInfo{}, err
+	}
+	info.TraceID = tid
+	e.emitReadEvents(name, now, info, v.Stats().BudgetEvictions-evictedBefore)
+	return rel, info, nil
 }
 
 // RefreshView re-materialises the named view at the current tick.
-func (e *Engine) RefreshView(name string) error {
+func (e *Engine) RefreshView(name string) error { return e.RefreshViewTraced(name, 0) }
+
+// RefreshViewTraced is RefreshView with the caller's trace ID; a zero ID
+// is replaced with a fresh one.
+func (e *Engine) RefreshViewTraced(name string, tid trace.ID) error {
+	if tid == 0 {
+		tid = trace.NextID()
+	}
 	v, err := e.cat.View(name)
 	if err != nil {
 		return err
@@ -704,5 +776,12 @@ func (e *Engine) RefreshView(name string) error {
 	e.mu.RLock()
 	now := e.now
 	e.mu.RUnlock()
-	return v.Materialize(now)
+	if err := v.Materialize(now); err != nil {
+		return err
+	}
+	e.events.Emit(trace.Event{
+		Trace: tid, Kind: trace.EvViewRecompute, Name: name,
+		Tick: now, Texp: v.Texp(),
+	})
+	return nil
 }

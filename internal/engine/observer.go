@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"expdb/internal/trace"
 	"expdb/internal/xtime"
 )
 
@@ -41,7 +42,7 @@ func (e *Engine) OnViewInvalid(name string, fn ViewObserverFunc, autoRefresh boo
 // locks are released. Each view is checked under its own lock plus read
 // locks on its base relations; the notified flag is only touched here, so
 // advMu alone serialises it.
-func (e *Engine) checkWatches(now xtime.Time) []firedWatch {
+func (e *Engine) checkWatches(now xtime.Time, tid trace.ID) []firedWatch {
 	e.mu.RLock()
 	watches := append([]*viewWatch(nil), e.watches...)
 	e.mu.RUnlock()
@@ -60,10 +61,20 @@ func (e *Engine) checkWatches(now xtime.Time) []firedWatch {
 			// Already reported this invalidation.
 		default:
 			w.notified = true
+			// The triggering texp is the materialisation's texp(e) before
+			// any refresh replaces it.
+			e.events.Emit(trace.Event{
+				Trace: tid, Kind: trace.EvViewInvalid, Name: w.name,
+				Tick: now, Texp: v.Texp(),
+			})
 			due = append(due, firedWatch{watch: w, at: now})
 			if w.refresh {
 				if err := v.Materialize(now); err == nil {
 					w.notified = false
+					e.events.Emit(trace.Event{
+						Trace: tid, Kind: trace.EvViewRecompute, Name: w.name,
+						Tick: now, Texp: v.Texp(),
+					})
 				}
 			}
 		}

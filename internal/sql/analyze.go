@@ -1,0 +1,182 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"expdb/internal/algebra"
+	"expdb/internal/interval"
+	"expdb/internal/relation"
+	"expdb/internal/tuple"
+	"expdb/internal/xtime"
+)
+
+// analyzed wraps one algebra node for EXPLAIN ANALYZE. The wrapper keeps
+// two handles on the node: orig, the untouched original (used for
+// labels, texp/validity derivations and — crucially — Children, so the
+// engine's lock discovery still walks the real tree down to its Base
+// leaves), and inner, the node rebuilt over wrapped children, which is
+// what Eval actually runs so every operator's work flows through its
+// wrapper.
+type analyzed struct {
+	orig  algebra.Expr
+	inner algebra.Expr
+	kids  []*analyzed
+
+	ran     bool
+	rowsIn  int        // alive rows flowing in (a base leaf: physical rows scanned)
+	rowsOut int        // alive rows produced at the evaluation instant
+	expired int        // expired tuples filtered at this node
+	texp    xtime.Time // texp(e) derived at evaluation time, under the query's locks
+	texpErr error
+	wall    time.Duration // cumulative, children included — the SQL EXPLAIN ANALYZE convention
+}
+
+// instrument builds the wrapper tree bottom-up.
+func instrument(e algebra.Expr) (*analyzed, error) {
+	a := &analyzed{orig: e, inner: e}
+	children := e.Children()
+	if len(children) == 0 {
+		return a, nil
+	}
+	wrapped := make([]algebra.Expr, len(children))
+	for i, c := range children {
+		k, err := instrument(c)
+		if err != nil {
+			return nil, err
+		}
+		a.kids = append(a.kids, k)
+		wrapped[i] = k
+	}
+	inner, err := algebra.ReplaceChildren(e, wrapped)
+	if err != nil {
+		return nil, err
+	}
+	a.inner = inner
+	return a, nil
+}
+
+// Schema implements algebra.Expr.
+func (a *analyzed) Schema() tuple.Schema { return a.orig.Schema() }
+
+// Monotonic implements algebra.Expr.
+func (a *analyzed) Monotonic() bool { return a.orig.Monotonic() }
+
+// ExprTexp delegates to the original node: difference nodes re-evaluate
+// their children while deriving texp, and routing that through the
+// wrappers would double-count their statistics.
+func (a *analyzed) ExprTexp(tau xtime.Time) (xtime.Time, error) { return a.orig.ExprTexp(tau) }
+
+// Validity implements algebra.Expr, delegating like ExprTexp.
+func (a *analyzed) Validity(tau xtime.Time) (interval.Set, error) { return a.orig.Validity(tau) }
+
+// Children returns the ORIGINAL node's children, so algebra.Walk (and
+// with it the engine's base-relation lock discovery) sees the real tree.
+func (a *analyzed) Children() []algebra.Expr { return a.orig.Children() }
+
+// String implements algebra.Expr.
+func (a *analyzed) String() string { return a.orig.String() }
+
+// Eval runs the node and records its actuals. Expired-filtered counts
+// surface at Base leaves (the instant's dead-but-present tuples a lazy
+// sweeper has not removed yet); interior operators only ever see rows
+// already alive at tau, matching the paper's transparency requirement.
+func (a *analyzed) Eval(tau xtime.Time) (*relation.Relation, error) {
+	start := time.Now()
+	out, err := a.inner.Eval(tau)
+	a.wall = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	a.ran = true
+	a.rowsOut = out.CountAt(tau)
+	if b, ok := a.orig.(*algebra.Base); ok {
+		a.rowsIn = b.Rel.Len() // safe: the engine holds this base's read lock
+		a.expired = a.rowsIn - a.rowsOut
+	} else {
+		a.rowsIn = 0
+		for _, k := range a.kids {
+			a.rowsIn += k.rowsOut
+		}
+	}
+	a.texp, a.texpErr = a.orig.ExprTexp(tau)
+	return out, nil
+}
+
+// execExplainAnalyze executes the rewritten plan through the wrapper
+// tree and renders the plan annotated with actuals. Everything — the
+// plan-time texp derivation, the validity intervals and the execution —
+// happens inside one Engine.Inspect lock session, so plan and actual
+// figures describe the same frozen instant.
+func (s *Session) execExplainAnalyze(expr, rewritten algebra.Expr) (*Result, error) {
+	root, err := instrument(rewritten)
+	if err != nil {
+		return nil, err
+	}
+	sp := s.span.Child("analyze")
+	var (
+		rel      *relation.Relation
+		validity interval.Set
+		now      xtime.Time
+		planTexp xtime.Time
+	)
+	err = s.eng.Inspect(root, func(snap xtime.Time) error {
+		now = snap
+		var err error
+		// Plan-time prediction first, then the instrumented execution;
+		// both under the same locks and instant.
+		if planTexp, err = rewritten.ExprTexp(now); err != nil {
+			return err
+		}
+		if validity, err = rewritten.Validity(now); err != nil {
+			return err
+		}
+		rel, err = root.Eval(now)
+		return err
+	})
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan:      %s\n", expr)
+	if rewritten.String() != expr.String() {
+		fmt.Fprintf(&b, "rewritten: %s\n", rewritten)
+	}
+	fmt.Fprintf(&b, "as-of:     t=%s (execution snapshot; plan and actual derivations share it)\n", now)
+	fmt.Fprintf(&b, "monotonic: %v\n", rewritten.Monotonic())
+	if root.texpErr == nil && root.texp != planTexp {
+		fmt.Fprintf(&b, "texp(e):   plan=%s actual=%s\n", planTexp, root.texp)
+	} else {
+		fmt.Fprintf(&b, "texp(e):   %s (plan = actual)\n", planTexp)
+	}
+	fmt.Fprintf(&b, "validity:  %s\n", validity)
+	fmt.Fprintf(&b, "actual:    %d row(s), wall %s, trace %s\n", root.rowsOut, root.wall, s.tid)
+	b.WriteString("tree:\n")
+	analyzeNode(&b, root, "", "")
+	return &Result{Rel: rel, At: now, Msg: strings.TrimRight(b.String(), "\n")}, nil
+}
+
+// analyzeNode renders one wrapper node: the plan annotations explainNode
+// prints, followed by the node's actuals.
+func analyzeNode(b *strings.Builder, a *analyzed, prefix, childPrefix string) {
+	mono := "non-monotonic"
+	if a.orig.Monotonic() {
+		mono = "monotonic"
+	}
+	texp := "?"
+	if a.ran && a.texpErr == nil {
+		texp = a.texp.String()
+	}
+	fmt.Fprintf(b, "%s%s  [%s, texp(e)=%s%s] (actual: rows in=%d out=%d, expired-filtered=%d, wall=%s)\n",
+		prefix, nodeLabel(a.orig), mono, texp, nodePolicy(a.orig),
+		a.rowsIn, a.rowsOut, a.expired, a.wall)
+	for i, k := range a.kids {
+		connector, indent := "├─ ", "│  "
+		if i == len(a.kids)-1 {
+			connector, indent = "└─ ", "   "
+		}
+		analyzeNode(b, k, childPrefix+connector, childPrefix+indent)
+	}
+}

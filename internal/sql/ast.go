@@ -184,8 +184,13 @@ type SetPolicy struct{ Policy string }
 
 func (*SetPolicy) stmt() {}
 
-// Show is SHOW TABLES | VIEWS | TIME | STATS.
-type Show struct{ What string }
+// Show is SHOW TABLES | VIEWS | TIME | STATS | METRICS | EVENTS | TRACES.
+type Show struct {
+	What string
+	// Limit bounds SHOW EVENTS to the most recent n events (0 = all
+	// retained).
+	Limit int
+}
 
 func (*Show) stmt() {}
 
@@ -194,8 +199,14 @@ type RefreshView struct{ Name string }
 
 func (*RefreshView) stmt() {}
 
-// Explain is EXPLAIN select: print the algebra plan, its monotonicity,
-// texp(e) and validity intervals instead of evaluating it.
-type Explain struct{ Query *Select }
+// Explain is EXPLAIN [ANALYZE] select: print the algebra plan, its
+// monotonicity, texp(e) and validity intervals. With ANALYZE the plan is
+// actually executed through a per-node instrumentation wrapper and the
+// tree is annotated with actual rows, expired-filtered counts, derived
+// texp(e) and wall time.
+type Explain struct {
+	Query   *Select
+	Analyze bool
+}
 
 func (*Explain) stmt() {}

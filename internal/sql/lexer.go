@@ -52,11 +52,12 @@ var keywords = map[string]bool{
 	"SET": true, "POLICY": true, "ADVANCE": true, "TO": true, "SHOW": true,
 	"TABLES": true, "VIEWS": true, "TIME": true, "STATS": true, "DELETE": true,
 	"METRICS": true,
-	"MIN": true, "MAX": true, "SUM": true, "COUNT": true, "AVG": true,
+	"MIN":     true, "MAX": true, "SUM": true, "COUNT": true, "AVG": true,
 	"INT": true, "INTEGER": true, "FLOAT": true, "STRING": true, "TEXT": true,
 	"BOOL": true, "BOOLEAN": true, "TRUE": true, "FALSE": true, "NULL": true,
 	"REFRESH": true, "EXPLAIN": true, "VALIDITY": true,
 	"ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"ANALYZE": true, "EVENTS": true, "TRACES": true,
 }
 
 // lex tokenises input, reporting the first malformed lexeme as an error.

@@ -139,12 +139,24 @@ func (p *parser) statement() (Statement, error) {
 		}
 		return &SetPolicy{Policy: name}, nil
 	case p.accept(tokKeyword, "SHOW"):
-		for _, what := range []string{"TABLES", "VIEWS", "TIME", "STATS", "METRICS"} {
+		for _, what := range []string{"TABLES", "VIEWS", "TIME", "STATS", "METRICS", "EVENTS", "TRACES"} {
 			if p.accept(tokKeyword, what) {
-				return &Show{What: what}, nil
+				show := &Show{What: what}
+				if what == "EVENTS" && p.accept(tokKeyword, "LIMIT") {
+					n, err := p.expect(tokInt, "")
+					if err != nil {
+						return nil, err
+					}
+					lim, err := strconv.Atoi(n.text)
+					if err != nil || lim <= 0 {
+						return nil, fmt.Errorf("sql: bad LIMIT %q", n.text)
+					}
+					show.Limit = lim
+				}
+				return show, nil
 			}
 		}
-		return nil, fmt.Errorf("sql: SHOW expects TABLES, VIEWS, TIME, STATS or METRICS, got %s", p.peek())
+		return nil, fmt.Errorf("sql: SHOW expects TABLES, VIEWS, TIME, STATS, METRICS, EVENTS or TRACES, got %s", p.peek())
 	case p.accept(tokKeyword, "REFRESH"):
 		if _, err := p.expect(tokKeyword, "VIEW"); err != nil {
 			return nil, err
@@ -155,11 +167,12 @@ func (p *parser) statement() (Statement, error) {
 		}
 		return &RefreshView{Name: name}, nil
 	case p.accept(tokKeyword, "EXPLAIN"):
+		analyze := p.accept(tokKeyword, "ANALYZE")
 		sel, err := p.selectStmt()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Query: sel.(*Select)}, nil
+		return &Explain{Query: sel.(*Select), Analyze: analyze}, nil
 	default:
 		return nil, fmt.Errorf("sql: unexpected %s at start of statement", p.peek())
 	}

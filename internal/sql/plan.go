@@ -11,6 +11,7 @@ import (
 	"expdb/internal/algebra"
 	"expdb/internal/engine"
 	"expdb/internal/relation"
+	"expdb/internal/trace"
 	"expdb/internal/tuple"
 	"expdb/internal/view"
 	"expdb/internal/xtime"
@@ -28,6 +29,10 @@ type Result struct {
 	// Msg is a human-readable outcome for non-query statements and
 	// EXPLAIN.
 	Msg string
+	// TraceID is the statement's trace ID: the lifecycle events it
+	// caused (SHOW EVENTS) and its slow-query trace (SHOW TRACES) carry
+	// the same ID.
+	TraceID trace.ID
 }
 
 // Session executes SQL against an engine. It carries per-session settings
@@ -38,6 +43,13 @@ type Session struct {
 	policy algebra.AggPolicy
 	notify io.Writer // trigger NOTIFY sink; nil discards
 	m      *Metrics  // never nil; may be shared across sessions
+
+	// tid and span are the current statement's tracing state, reset per
+	// statement. span is nil unless the engine's slow-query log is on,
+	// and every trace.Span method is a nil-safe no-op, so disabled
+	// tracing costs nothing. Single-goroutine like the Session itself.
+	tid  trace.ID
+	span *trace.Span
 }
 
 // NewSession opens a session on eng. Trigger notifications are written to
@@ -77,6 +89,14 @@ func (s *Session) PlanQuery(q string) (algebra.Expr, error) {
 	return s.planSelect(sel)
 }
 
+// PlanQueryTraced is PlanQuery with the caller's trace ID: view reads
+// performed while planning are attributed to that ID — the wire server
+// uses it to tag server-side events with the remote client's trace.
+func (s *Session) PlanQueryTraced(q string, tid trace.ID) (algebra.Expr, error) {
+	s.tid = tid
+	return s.PlanQuery(q)
+}
+
 // Exec parses and executes one statement.
 func (s *Session) Exec(input string) (*Result, error) {
 	start := time.Now()
@@ -86,7 +106,7 @@ func (s *Session) Exec(input string) (*Result, error) {
 		s.m.ParseErrs.Inc()
 		return nil, err
 	}
-	return s.ExecStmt(stmt)
+	return s.execTraced(stmt, input)
 }
 
 // ExecScript executes a semicolon-separated script, stopping at the first
@@ -111,12 +131,49 @@ func (s *Session) ExecScript(input string) (*Result, error) {
 
 // ExecStmt executes a parsed statement.
 func (s *Session) ExecStmt(stmt Statement) (*Result, error) {
-	s.m.Statements[kindOf(stmt)].Inc()
+	return s.execTraced(stmt, "")
+}
+
+// execTraced wraps execStmt with the per-statement observability: a
+// fresh trace ID (stamped on the Result and propagated into every engine
+// operation the statement performs), metrics, and — when the engine's
+// slow-query threshold is set — a span tree that is recorded in the
+// slow-query log if the statement's wall time reaches the threshold.
+func (s *Session) execTraced(stmt Statement, input string) (*Result, error) {
+	kind := kindOf(stmt)
+	if input == "" {
+		input = kind.String() // ExecStmt callers have no source text
+	}
+	s.m.Statements[kind].Inc()
+	s.tid = trace.NextID()
+	s.span = nil
+	slow := s.eng.SlowQueryThreshold()
+	if slow > 0 {
+		s.span = trace.Begin(kind.String())
+	}
 	start := time.Now()
 	res, err := s.execStmt(stmt)
-	s.m.ExecNanos.Observe(time.Since(start).Nanoseconds())
+	elapsed := time.Since(start)
+	s.m.ExecNanos.Observe(elapsed.Nanoseconds())
 	if err != nil {
 		s.m.ExecErrs.Inc()
+		s.span.Set("error", err.Error())
+	}
+	if res != nil {
+		res.TraceID = s.tid
+	}
+	if s.span != nil {
+		s.span.End()
+		if elapsed >= slow {
+			tick := s.eng.Now()
+			if res != nil {
+				tick = res.At
+			}
+			s.eng.Traces().Add(trace.Trace{
+				ID: s.tid, Stmt: input, Tick: tick, Total: elapsed, Root: s.span,
+			})
+		}
+		s.span = nil
 	}
 	return res, err
 }
@@ -146,15 +203,22 @@ func (s *Session) execStmt(stmt Statement) (*Result, error) {
 		return s.execDelete(st)
 
 	case *Select:
+		sp := s.span.Child("plan")
 		expr, err := s.planSelect(st)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
-		rel, err := s.eng.Query(expr)
+		sp = s.span.Child("execute")
+		rel, now, err := s.eng.QueryTraced(expr)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
-		res := &Result{Rel: rel, At: s.eng.Now()}
+		// At is the tick the evaluation actually used (read under the
+		// query's locks), not a re-read of the clock that a concurrent
+		// Advance could have moved since.
+		res := &Result{Rel: rel, At: now}
 		if len(st.OrderBy) > 0 || st.Limit >= 0 {
 			if err := s.orderAndLimit(st, expr, res); err != nil {
 				return nil, err
@@ -180,7 +244,10 @@ func (s *Session) execStmt(stmt Statement) (*Result, error) {
 		return &Result{Msg: fmt.Sprintf("trigger %s on %s created (%s)", name, st.Table, msg), At: s.eng.Now()}, nil
 
 	case *AdvanceTo:
-		if err := s.eng.Advance(st.To); err != nil {
+		sp := s.span.Child("advance")
+		err := s.eng.AdvanceTraced(st.To, s.tid)
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 		return &Result{Msg: fmt.Sprintf("time is now %s", st.To), At: st.To}, nil
@@ -202,7 +269,7 @@ func (s *Session) execStmt(stmt Statement) (*Result, error) {
 		return s.execShow(st)
 
 	case *RefreshView:
-		if err := s.eng.RefreshView(st.Name); err != nil {
+		if err := s.eng.RefreshViewTraced(st.Name, s.tid); err != nil {
 			return nil, err
 		}
 		return &Result{Msg: fmt.Sprintf("view %s refreshed at %s", st.Name, s.eng.Now()), At: s.eng.Now()}, nil
@@ -349,6 +416,34 @@ func (s *Session) execShow(st *Show) (*Result, error) {
 			return nil, err
 		}
 		return &Result{Msg: string(buf), At: s.eng.Now()}, nil
+	case "EVENTS":
+		log := s.eng.Events()
+		evs := log.Snapshot(st.Limit)
+		lines := make([]string, 0, len(evs)+1)
+		for _, e := range evs {
+			lines = append(lines, e.String())
+		}
+		if len(lines) == 0 {
+			lines = append(lines, "no lifecycle events recorded")
+		}
+		if d := log.Dropped(); d > 0 {
+			lines = append(lines, fmt.Sprintf("(%d older events dropped by the ring buffer)", d))
+		}
+		return &Result{Msg: strings.Join(lines, "\n"), At: s.eng.Now()}, nil
+	case "TRACES":
+		traces := s.eng.Traces().Snapshot()
+		if len(traces) == 0 {
+			msg := "no slow-query traces recorded"
+			if s.eng.SlowQueryThreshold() <= 0 {
+				msg += " (slow-query log off; open with WithSlowQueryThreshold)"
+			}
+			return &Result{Msg: msg, At: s.eng.Now()}, nil
+		}
+		var b strings.Builder
+		for _, t := range traces {
+			b.WriteString(t.String())
+		}
+		return &Result{Msg: strings.TrimRight(b.String(), "\n"), At: s.eng.Now()}, nil
 	default: // STATS
 		st := s.eng.Stats()
 		return &Result{Msg: fmt.Sprintf(
@@ -364,25 +459,40 @@ func (s *Session) execExplain(st *Explain) (*Result, error) {
 		return nil, err
 	}
 	rewritten := algebra.PushDownSelections(expr)
-	now := s.eng.Now()
-	texp, err := rewritten.ExprTexp(now)
-	if err != nil {
-		return nil, err
+	if st.Analyze {
+		return s.execExplainAnalyze(expr, rewritten)
 	}
-	validity, err := rewritten.Validity(now)
-	if err != nil {
-		return nil, err
-	}
+	// Engine.Inspect holds the plan's base-relation read locks while we
+	// derive: texp(e), the validity intervals and every per-node
+	// annotation see one frozen instant — a concurrent Advance cannot
+	// make the tree inconsistent with its own header.
 	var b strings.Builder
-	fmt.Fprintf(&b, "plan:      %s\n", expr)
-	if rewritten.String() != expr.String() {
-		fmt.Fprintf(&b, "rewritten: %s\n", rewritten)
+	var now xtime.Time
+	err = s.eng.Inspect(rewritten, func(snap xtime.Time) error {
+		now = snap
+		texp, err := rewritten.ExprTexp(now)
+		if err != nil {
+			return err
+		}
+		validity, err := rewritten.Validity(now)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "plan:      %s\n", expr)
+		if rewritten.String() != expr.String() {
+			fmt.Fprintf(&b, "rewritten: %s\n", rewritten)
+		}
+		fmt.Fprintf(&b, "as-of:     t=%s (single snapshot; every derivation below uses this instant)\n", now)
+		fmt.Fprintf(&b, "monotonic: %v\n", rewritten.Monotonic())
+		fmt.Fprintf(&b, "texp(e):   %s\n", texp)
+		fmt.Fprintf(&b, "validity:  %s\n", validity)
+		b.WriteString("tree:\n")
+		explainNode(&b, rewritten, now, "", "")
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	fmt.Fprintf(&b, "monotonic: %v\n", rewritten.Monotonic())
-	fmt.Fprintf(&b, "texp(e):   %s\n", texp)
-	fmt.Fprintf(&b, "validity:  %s\n", validity)
-	b.WriteString("tree:\n")
-	explainNode(&b, rewritten, now, "", "")
 	return &Result{Msg: strings.TrimRight(b.String(), "\n"), At: now}, nil
 }
 

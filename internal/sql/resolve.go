@@ -225,12 +225,18 @@ func (s *Session) planFrom(ref TableRef) (algebra.Expr, *scope, error) {
 	if tblErr == nil {
 		return base, newScope(ref.Name, base.Schema()), nil
 	}
-	rel, _, err := s.eng.ReadView(ref.Name)
+	sp := s.span.Child("read view " + ref.Name)
+	rel, info, err := s.eng.ReadViewTraced(ref.Name, s.tid)
+	sp.End()
 	if err != nil {
 		// Join both lookup failures so errors.Is matches ErrNoSuchTable as
 		// well as ErrNoSuchView (or ErrInvalidRead) through this wrapper.
 		return nil, nil, fmt.Errorf("sql: %q is neither a table nor a readable view: %w",
 			ref.Name, errors.Join(tblErr, err))
+	}
+	sp.Set("source", info.Source.String())
+	if info.PatchesApplied > 0 {
+		sp.Set("patches", fmt.Sprint(info.PatchesApplied))
 	}
 	vbase := algebra.NewBase(ref.Name, rel)
 	return vbase, newScope(ref.Name, rel.Schema()), nil

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"expdb/internal/xtime"
+)
+
+// EventKind classifies a lifecycle event. The taxonomy follows the
+// paper's maintenance decisions: tuples expiring (§3.2), views
+// invalidating and being recomputed or patched (Theorems 1–3), patch
+// queues truncated by a budget (§3.4.2), and the sweep/compaction
+// housekeeping behind eager and lazy expiration.
+type EventKind uint8
+
+const (
+	// EvExpiry: a batch of tuples physically expired from one table.
+	EvExpiry EventKind = iota
+	// EvSweep: a lazy (or manual) sweep removed expired tuples.
+	EvSweep
+	// EvCompaction: the heap scheduler shed stale events.
+	EvCompaction
+	// EvViewInvalid: an advance crossed a view's texp(e), invalidating
+	// its materialisation.
+	EvViewInvalid
+	// EvViewRecompute: a view's expression was re-evaluated against base
+	// data (materialisation, refresh, or read-triggered recovery).
+	EvViewRecompute
+	// EvViewPatch: Theorem 3 patches were replayed into a
+	// materialisation instead of recomputing.
+	EvViewPatch
+	// EvViewCacheHit: a view read was served from the materialisation
+	// without touching base data.
+	EvViewCacheHit
+	// EvViewMoved: a view read was answered at a shifted instant (§3.3).
+	EvViewMoved
+	// EvBudgetEvict: critical tuples were dropped from a patch queue
+	// because WithPatchBudget bounded it.
+	EvBudgetEvict
+	// EvWireMaterialize: a remote node materialised a query over the
+	// wire protocol.
+	EvWireMaterialize
+)
+
+var eventKindNames = [...]string{
+	EvExpiry:          "expiry",
+	EvSweep:           "sweep",
+	EvCompaction:      "compaction",
+	EvViewInvalid:     "view-invalid",
+	EvViewRecompute:   "view-recompute",
+	EvViewPatch:       "view-patch",
+	EvViewCacheHit:    "view-cache-hit",
+	EvViewMoved:       "view-moved",
+	EvBudgetEvict:     "budget-evict",
+	EvWireMaterialize: "wire-materialize",
+}
+
+// String names the kind.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalJSON renders the kind as its name, keeping /debug/events
+// readable without a decoder ring.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// Event is one structured lifecycle record. It is a plain value — no
+// pointers beyond the name's string header — so emitting one copies a
+// few words and never allocates.
+type Event struct {
+	// Seq is the log-assigned sequence number (1-based, monotonic).
+	Seq uint64 `json:"seq"`
+	// Trace ties the event to the statement or read that caused it.
+	Trace ID `json:"trace"`
+	// Kind classifies the event.
+	Kind EventKind `json:"kind"`
+	// Name is the table or view concerned ("" for engine-wide events).
+	Name string `json:"name,omitempty"`
+	// Tick is the logical time the event happened.
+	Tick xtime.Time `json:"tick"`
+	// Texp carries the expiration time that triggered the event, where
+	// one exists (the invalidating texp(e), an expiry batch's tick).
+	Texp xtime.Time `json:"texp,omitempty"`
+	// Count is the event's magnitude: tuples expired, patches applied,
+	// stale events dropped, critical tuples evicted.
+	Count int64 `json:"count,omitempty"`
+}
+
+// String renders the event in the single-line form SHOW EVENTS prints.
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d t=%v trace=%s %s", e.Seq, e.Tick, e.Trace, e.Kind)
+	if e.Name != "" {
+		s += " " + e.Name
+	}
+	if e.Count != 0 {
+		s += fmt.Sprintf(" count=%d", e.Count)
+	}
+	if e.Texp != 0 {
+		s += fmt.Sprintf(" texp=%v", e.Texp)
+	}
+	return s
+}
+
+// Log is a fixed-capacity ring buffer of lifecycle events. When full it
+// drops the oldest event and counts the loss, so a long-running engine
+// holds the most recent window at a bounded, preallocated cost.
+//
+// Emission takes one short mutex hold and copies the event by value into
+// the preallocated ring: allocation-free regardless of subscribers. The
+// mutex is a leaf in the engine's lock hierarchy — Emit is safe to call
+// under any engine, view or table lock.
+type Log struct {
+	mu   sync.Mutex
+	ring []Event
+	next uint64 // total events ever emitted; also the next Seq
+}
+
+// NewLog returns a log retaining the most recent capacity events
+// (minimum 1).
+func NewLog(capacity int) *Log {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Log{ring: make([]Event, capacity)}
+}
+
+// Emit appends e to the log, assigning its sequence number. Nil-safe.
+func (l *Log) Emit(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.next++
+	e.Seq = l.next
+	l.ring[(l.next-1)%uint64(len(l.ring))] = e
+	l.mu.Unlock()
+}
+
+// Total returns how many events have ever been emitted.
+func (l *Log) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Dropped returns how many events have been overwritten by wraparound.
+func (l *Log) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped()
+}
+
+func (l *Log) dropped() uint64 {
+	if cap := uint64(len(l.ring)); l.next > cap {
+		return l.next - cap
+	}
+	return 0
+}
+
+// Snapshot returns the retained events oldest-first. A positive limit
+// keeps only the most recent limit events.
+func (l *Log) Snapshot(limit int) []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next - l.dropped() // retained count
+	if limit > 0 && uint64(limit) < n {
+		n = uint64(limit)
+	}
+	out := make([]Event, 0, n)
+	for seq := l.next - n + 1; seq <= l.next; seq++ {
+		out = append(out, l.ring[(seq-1)%uint64(len(l.ring))])
+	}
+	return out
+}

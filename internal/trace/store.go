@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"expdb/internal/xtime"
+)
+
+// Trace is the record of one completed slow statement: the statement
+// text, the logical tick it ran at, its span tree, and the total wall
+// time. Traces are immutable once stored.
+type Trace struct {
+	ID    ID            `json:"id"`
+	Stmt  string        `json:"stmt"`
+	Tick  xtime.Time    `json:"tick"`
+	Total time.Duration `json:"total_ns"`
+	Root  *Span         `json:"spans"`
+}
+
+// String renders the trace header plus its span tree.
+func (t Trace) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %s at t=%v [%s]: %s\n", t.ID, t.Tick, t.Total, t.Stmt)
+	t.Root.Render(&sb, "  ", "  ")
+	return sb.String()
+}
+
+// Store is the slow-query log: a fixed-capacity ring of the most recent
+// traces. Unlike Log it holds pointers (span trees), but statements only
+// reach it past the slow-query threshold, so it is off the hot path.
+type Store struct {
+	mu   sync.Mutex
+	ring []Trace
+	next uint64
+}
+
+// NewStore returns a store retaining the most recent capacity traces
+// (minimum 1).
+func NewStore(capacity int) *Store {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Store{ring: make([]Trace, capacity)}
+}
+
+// Add records a completed trace. Nil-safe.
+func (s *Store) Add(t Trace) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.ring[s.next%uint64(len(s.ring))] = t
+	s.next++
+	s.mu.Unlock()
+}
+
+// Total returns how many traces have ever been recorded.
+func (s *Store) Total() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+// Snapshot returns the retained traces oldest-first.
+func (s *Store) Snapshot() []Trace {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.next
+	if cap := uint64(len(s.ring)); n > cap {
+		n = cap
+	}
+	out := make([]Trace, 0, n)
+	for i := s.next - n; i < s.next; i++ {
+		out = append(out, s.ring[i%uint64(len(s.ring))])
+	}
+	return out
+}

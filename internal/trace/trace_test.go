@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNextIDUnique(t *testing.T) {
+	a, b := NextID(), NextID()
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("ids not fresh: %v %v", a, b)
+	}
+}
+
+func TestLogSnapshotOrderAndLimit(t *testing.T) {
+	l := NewLog(8)
+	for i := 1; i <= 5; i++ {
+		l.Emit(Event{Kind: EvExpiry, Count: int64(i)})
+	}
+	evs := l.Snapshot(0)
+	if len(evs) != 5 {
+		t.Fatalf("retained %d events, want 5", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) || e.Count != int64(i+1) {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+	if got := l.Snapshot(2); len(got) != 2 || got[0].Seq != 4 || got[1].Seq != 5 {
+		t.Fatalf("limit 2 returned %+v, want seqs 4,5", got)
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("dropped = %d before wraparound", l.Dropped())
+	}
+}
+
+// Wraparound drops the oldest events and the counter records every loss
+// — the satellite's ring-buffer contract.
+func TestLogWraparoundDropsOldest(t *testing.T) {
+	l := NewLog(4)
+	for i := 1; i <= 10; i++ {
+		l.Emit(Event{Kind: EvSweep, Count: int64(i)})
+	}
+	if l.Total() != 10 {
+		t.Fatalf("total = %d, want 10", l.Total())
+	}
+	if l.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", l.Dropped())
+	}
+	evs := l.Snapshot(0)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want capacity 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (oldest dropped first)", i, e.Seq, want)
+		}
+	}
+}
+
+// Emitting into an attached log must be allocation-free: the ring is
+// preallocated and events are plain values. This is the property that
+// lets the engine emit from its hot paths unconditionally.
+func TestEmitAllocationFree(t *testing.T) {
+	l := NewLog(16)
+	ev := Event{Trace: 7, Kind: EvViewPatch, Name: "hist", Tick: 3, Texp: 9, Count: 2}
+	if allocs := testing.AllocsPerRun(100, func() { l.Emit(ev) }); allocs != 0 {
+		t.Fatalf("Emit allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestNilLogAndSpanSafe(t *testing.T) {
+	var l *Log
+	l.Emit(Event{}) // must not panic
+	if l.Snapshot(0) != nil || l.Dropped() != 0 || l.Total() != 0 {
+		t.Fatal("nil log not inert")
+	}
+	var s *Span
+	s.End()
+	s.Set("k", "v")
+	if s.Child("x") != nil {
+		t.Fatal("nil span spawned a child")
+	}
+	if s.String() != "" {
+		t.Fatal("nil span rendered output")
+	}
+}
+
+func TestSpanTreeRender(t *testing.T) {
+	root := Begin("select")
+	p := root.Child("plan")
+	p.Set("view", "hist")
+	p.End()
+	c := root.Child("execute")
+	c.End()
+	root.End()
+	if root.Dur <= 0 || len(root.Children) != 2 {
+		t.Fatalf("root not finished: %+v", root)
+	}
+	out := root.String()
+	for _, want := range []string{"select", "├─ plan", "view=hist", "└─ execute"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	s := Begin("x")
+	s.End()
+	d := s.Dur
+	time.Sleep(time.Millisecond)
+	s.End()
+	if s.Dur != d {
+		t.Fatal("second End overwrote duration")
+	}
+}
+
+func TestStoreWraparound(t *testing.T) {
+	st := NewStore(2)
+	for i := 1; i <= 3; i++ {
+		st.Add(Trace{ID: ID(i), Stmt: "q", Root: Begin("s")})
+	}
+	traces := st.Snapshot()
+	if st.Total() != 3 || len(traces) != 2 {
+		t.Fatalf("total %d retained %d, want 3/2", st.Total(), len(traces))
+	}
+	if traces[0].ID != 2 || traces[1].ID != 3 {
+		t.Fatalf("retained wrong traces: %v %v", traces[0].ID, traces[1].ID)
+	}
+}
+
+func TestEventJSONKindName(t *testing.T) {
+	b, err := json.Marshal(Event{Seq: 1, Kind: EvViewRecompute, Name: "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"view-recompute"`) {
+		t.Fatalf("kind not marshalled by name: %s", b)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Seq: 3, Trace: 255, Kind: EvExpiry, Name: "pol", Tick: 10, Texp: 10, Count: 2}
+	s := e.String()
+	for _, want := range []string{"#3", "t=10", "trace=000000ff", "expiry", "pol", "count=2", "texp=10"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string missing %q: %s", want, s)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"expdb/internal/metrics"
 	"expdb/internal/pqueue"
 	"expdb/internal/relation"
+	"expdb/internal/trace"
 	"expdb/internal/tuple"
 	"expdb/internal/xtime"
 )
@@ -129,12 +130,24 @@ func (s Source) String() string {
 	}
 }
 
-// ReadInfo describes how a read was answered.
+// ReadInfo describes how a read was answered. It is built exactly once,
+// under the view lock, and flows unchanged through the engine to the
+// façade — every layer sees the same provenance the invalidation
+// analysis computed.
 type ReadInfo struct {
 	Source Source
 	// At is the instant the answer reflects; differs from the requested
 	// time only for the moved policies.
 	At xtime.Time
+	// PatchesApplied counts the Theorem 3 patches replayed into the
+	// materialisation by this read.
+	PatchesApplied int
+	// Texp is texp(e) of the materialisation that answered the read
+	// (refreshed first if the read recomputed).
+	Texp xtime.Time
+	// TraceID ties the read to the lifecycle events it emitted; the
+	// engine stamps it after Read returns.
+	TraceID trace.ID
 }
 
 // Stats accumulates maintenance counters, the currency experiments E6/E8
@@ -359,15 +372,18 @@ func (v *View) PendingPatches() int {
 }
 
 // applyPatches replays every due patch (helper tuple expired in S) into
-// the materialisation.
-func (v *View) applyPatches(tau xtime.Time) {
+// the materialisation, returning how many were applied.
+func (v *View) applyPatches(tau xtime.Time) int {
 	if v.queue == nil {
-		return
+		return 0
 	}
+	applied := 0
 	for _, it := range v.queue.PopDue(tau) {
 		v.mat.Insert(it.Value.tuple, it.Value.inR)
-		v.stats.PatchesApplied++
+		applied++
 	}
+	v.stats.PatchesApplied += applied
+	return applied
 }
 
 // valid reports whether the materialisation may answer a read at tau
@@ -389,14 +405,30 @@ func (v *View) valid(tau xtime.Time) bool {
 // tuples never escape — the paper's requirement that expiration is
 // transparent to querying users.
 func (v *View) Read(tau xtime.Time) (*relation.Relation, ReadInfo, error) {
+	rel, info, err := v.read(tau)
+	if err != nil {
+		return nil, ReadInfo{}, err
+	}
+	// Texp is stamped last so a recomputing read reports the refreshed
+	// texp(e), not the one that just invalidated.
+	info.Texp = v.texp
+	return rel, info, nil
+}
+
+// read answers the query and fills every ReadInfo field except Texp.
+// There is exactly one ReadInfo under construction — each outcome path
+// only sets Source/At on it — so the provenance cannot diverge between
+// layers.
+func (v *View) read(tau xtime.Time) (*relation.Relation, ReadInfo, error) {
 	if v.mat == nil {
 		return nil, ReadInfo{}, fmt.Errorf("view %s: not materialised", v.name)
 	}
 	v.stats.Reads++
-	v.applyPatches(tau)
+	info := ReadInfo{At: tau, PatchesApplied: v.applyPatches(tau)}
 	if v.valid(tau) {
 		v.stats.ServedFromMat++
-		return v.mat.Snapshot(tau), ReadInfo{Source: SourceMaterialised, At: tau}, nil
+		info.Source = SourceMaterialised
+		return v.mat.Snapshot(tau), info, nil
 	}
 	switch v.recovery {
 	case RecoverReject:
@@ -404,12 +436,14 @@ func (v *View) Read(tau xtime.Time) (*relation.Relation, ReadInfo, error) {
 	case RecoverBackward:
 		if at, ok := v.validity.PrevIn(tau); ok && at >= v.matAt {
 			v.stats.Moved++
-			return v.mat.Snapshot(at), ReadInfo{Source: SourceMovedBackward, At: at}, nil
+			info.Source, info.At = SourceMovedBackward, at
+			return v.mat.Snapshot(at), info, nil
 		}
 	case RecoverForward:
 		if at, ok := v.validity.NextIn(tau); ok {
 			v.stats.Moved++
-			return v.mat.Snapshot(at), ReadInfo{Source: SourceMovedForward, At: at}, nil
+			info.Source, info.At = SourceMovedForward, at
+			return v.mat.Snapshot(at), info, nil
 		}
 	}
 	// RecoverRecompute, or a moved policy with nowhere to move: fall back
@@ -420,7 +454,8 @@ func (v *View) Read(tau xtime.Time) (*relation.Relation, ReadInfo, error) {
 	}
 	v.recomputeNanos.Observe(time.Since(start).Nanoseconds())
 	v.stats.Recomputations++
-	return v.mat.Snapshot(tau), ReadInfo{Source: SourceRecomputed, At: tau}, nil
+	info.Source = SourceRecomputed
+	return v.mat.Snapshot(tau), info, nil
 }
 
 // NeedsRecomputation reports whether a read at tau could not be served

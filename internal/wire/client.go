@@ -7,6 +7,7 @@ import (
 
 	"expdb/internal/pqueue"
 	"expdb/internal/relation"
+	"expdb/internal/trace"
 	"expdb/internal/tuple"
 	"expdb/internal/xtime"
 )
@@ -30,6 +31,7 @@ type Client struct {
 	matAt       xtime.Time
 	texp        xtime.Time
 	patches     *pqueue.Queue[patchItem]
+	lastTrace   trace.ID
 
 	// Maintenance counters for experiments.
 	Rematerializations int
@@ -114,11 +116,15 @@ func (c *Client) Materialize(query string, withPatches bool) error {
 // invalidates at the first unshipped critical event and Read re-fetches.
 func (c *Client) MaterializeBudget(query string, withPatches bool, budget int) error {
 	c.query, c.wantPatches, c.patchBudget = query, withPatches, budget
+	// A fresh trace ID per materialisation: the server tags its events
+	// and echoes it, so this fetch is correlatable with server spans.
+	tid := trace.NextID()
 	resp, err := c.roundTrip(&Request{Kind: MsgMaterialize, Query: query,
-		WantPatches: withPatches, PatchBudget: budget})
+		WantPatches: withPatches, PatchBudget: budget, TraceID: uint64(tid)})
 	if err != nil {
 		return err
 	}
+	c.lastTrace = trace.ID(resp.TraceID)
 	cols := make([]tuple.Column, len(resp.Cols))
 	for i, wc := range resp.Cols {
 		cols[i] = tuple.Column{Name: wc.Name, Kind: wc.Kind}
@@ -147,6 +153,11 @@ func (c *Client) MaterializeBudget(query string, withPatches bool, budget int) e
 
 // Texp returns the expiration time of the local materialisation.
 func (c *Client) Texp() xtime.Time { return c.texp }
+
+// LastTraceID returns the trace ID of the most recent materialisation,
+// as confirmed by the server — the key for finding this fetch in the
+// server's SHOW EVENTS output and /debug/events endpoint.
+func (c *Client) LastTraceID() trace.ID { return c.lastTrace }
 
 // Read answers a query at tick tau from the local copy, re-materialising
 // over the network only when the copy is invalid.

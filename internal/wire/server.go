@@ -11,6 +11,7 @@ import (
 
 	"expdb/internal/engine"
 	"expdb/internal/sql"
+	"expdb/internal/trace"
 	"expdb/internal/xtime"
 )
 
@@ -120,8 +121,16 @@ func (s *Server) respond(req *Request) *Response {
 	case MsgTime:
 		return resp
 	case MsgMaterialize:
+		// Adopt the client's trace ID (or mint one) so server-side
+		// lifecycle events and the echoed Response carry the same
+		// correlation key.
+		tid := trace.ID(req.TraceID)
+		if tid == 0 {
+			tid = trace.NextID()
+		}
+		resp.TraceID = uint64(tid)
 		sess := sql.NewSessionWithMetrics(s.eng, nil, s.sqlm)
-		expr, err := sess.PlanQuery(req.Query)
+		expr, err := sess.PlanQueryTraced(req.Query, tid)
 		if err != nil {
 			resp.Err = err.Error()
 			return resp
@@ -168,6 +177,10 @@ func (s *Server) respond(req *Request) *Response {
 			}
 			resp.Patches = append(resp.Patches, wp)
 		}
+		s.eng.Events().Emit(trace.Event{
+			Trace: tid, Kind: trace.EvWireMaterialize, Name: req.Query,
+			Tick: now, Texp: resp.Texp, Count: int64(len(resp.Rows)),
+		})
 		return resp
 	default:
 		resp.Err = "wire: unknown request kind"

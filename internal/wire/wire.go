@@ -46,6 +46,9 @@ type Request struct {
 	// communication. With a bounded queue the reported Texp shrinks to
 	// the first critical event that did not fit.
 	PatchBudget int
+	// TraceID correlates this request with the server's lifecycle events
+	// and spans; 0 lets the server mint one (echoed in the Response).
+	TraceID uint64
 }
 
 // WireValue is the transport form of a scalar value.
@@ -120,6 +123,10 @@ type Response struct {
 	Rows    []WireRow
 	Texp    xtime.Time // texp(e) of the materialisation
 	Patches []WirePatch
+	// TraceID is the trace ID the server tagged its work with — the
+	// request's, or a freshly minted one — so client-side latency can be
+	// correlated with the server's event log and spans.
+	TraceID uint64
 }
 
 func init() {

@@ -6,6 +6,7 @@ import (
 
 	"expdb/internal/engine"
 	"expdb/internal/sql"
+	"expdb/internal/trace"
 	"expdb/internal/tuple"
 	"expdb/internal/value"
 	"expdb/internal/xtime"
@@ -287,4 +288,69 @@ func TestPatchBudgetOverWire(t *testing.T) {
 	if c.Rematerializations == 0 {
 		t.Fatal("exhausted wire budget must re-fetch")
 	}
+}
+
+// TestTraceIDOverWire: the client's trace ID survives the round trip —
+// the server tags its materialisation event with it and echoes it in the
+// Response, so a fetch is correlatable across both event logs.
+func TestTraceIDOverWire(t *testing.T) {
+	eng, _, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Materialize("SELECT uid FROM pol", false); err != nil {
+		t.Fatal(err)
+	}
+	tid := c.LastTraceID()
+	if tid == 0 {
+		t.Fatal("client recorded no trace ID for the materialisation")
+	}
+	var found bool
+	for _, ev := range eng.Events().Snapshot(0) {
+		if ev.Kind == trace.EvWireMaterialize && ev.Trace == tid {
+			found = true
+			if ev.Name != "SELECT uid FROM pol" {
+				t.Errorf("materialise event query = %q", ev.Name)
+			}
+			if ev.Count != 3 {
+				t.Errorf("materialise event rows = %d, want 3", ev.Count)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("server event log has no wire-materialize event under trace %s:\n%v",
+			tid, eng.Events().Snapshot(0))
+	}
+
+	// A second materialisation gets a fresh ID.
+	if err := c.Materialize("SELECT uid FROM el", false); err != nil {
+		t.Fatal(err)
+	}
+	if c.LastTraceID() == tid {
+		t.Fatal("trace ID reused across materialisations")
+	}
+}
+
+// TestServerMintsTraceID: a zero TraceID in the request (an old client)
+// still yields a non-zero correlation key in the response and events.
+func TestServerMintsTraceID(t *testing.T) {
+	eng, srv, _ := startServer(t)
+	_ = srv
+	resp := srvRespond(t, eng, &Request{Kind: MsgMaterialize, Query: "SELECT uid FROM pol"})
+	if resp.Err != "" {
+		t.Fatal(resp.Err)
+	}
+	if resp.TraceID == 0 {
+		t.Fatal("server did not mint a trace ID for an untraced request")
+	}
+}
+
+// srvRespond drives Server.respond directly (no socket) for protocol
+// edge cases.
+func srvRespond(t *testing.T, eng *engine.Engine, req *Request) *Response {
+	t.Helper()
+	s := NewServer(eng)
+	return s.respond(req)
 }
