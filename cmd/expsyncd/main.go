@@ -11,18 +11,28 @@
 // Remote view node (materialises once, then answers locally):
 //
 //	expsyncd -connect localhost:7070 -query "SELECT uid FROM pol EXCEPT SELECT uid FROM el" -patches
+//
+// Both modes run until their tick budget is spent or SIGINT/SIGTERM
+// arrives, then shut down gracefully: the server drains in-flight wire
+// requests (bounded by -drain) and stops the metrics listener; the
+// client closes its session. Transient network errors never kill the
+// client — it keeps answering from its local copy while the copy is
+// valid (degraded mode) and reconnects with backoff when it must.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"expdb"
-	"expdb/internal/wire"
 	"expdb/internal/xtime"
 )
 
@@ -33,24 +43,44 @@ func main() {
 	patches := flag.Bool("patches", false, "ship Theorem 3 patches (difference queries)")
 	ticks := flag.Int("ticks", 20, "how many ticks to observe")
 	metricsAddr := flag.String("metrics", "", "address to serve /metrics JSON and /debug/pprof on (e.g. :9090; server mode)")
+	idleTimeout := flag.Duration("idle-timeout", 30*time.Second, "server: disconnect a silent peer after this long")
+	maxConns := flag.Int("max-conns", 256, "server: concurrent connection cap (excess dials rejected cleanly)")
+	maxMsg := flag.Int64("max-msg-bytes", 8<<20, "server: largest single wire message accepted")
+	drain := flag.Duration("drain", 5*time.Second, "server: how long shutdown waits for in-flight requests")
+	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "client: per-round-trip deadline")
 	flag.Parse()
+
+	// One context for the whole process: SIGINT/SIGTERM cancels it and
+	// every loop below winds down gracefully.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	switch {
 	case *serve != "":
-		runServer(*serve, *metricsAddr, *ticks)
+		runServer(ctx, *serve, *metricsAddr, *ticks, serverOptions(*idleTimeout, *maxConns, *maxMsg, *drain))
 	case *connect != "":
-		runClient(*connect, *query, *patches, *ticks)
+		runClient(ctx, *connect, *query, *patches, *ticks, *reqTimeout)
 	default:
 		fmt.Fprintln(os.Stderr, "expsyncd: pass -serve ADDR or -connect ADDR (see -help)")
 		os.Exit(1)
 	}
 }
 
+func serverOptions(idle time.Duration, maxConns int, maxMsg int64, drain time.Duration) []expdb.WireServerOption {
+	return []expdb.WireServerOption{
+		expdb.WithWireIdleTimeout(idle),
+		expdb.WithWireMaxConns(maxConns),
+		expdb.WithWireMaxMessageBytes(maxMsg),
+		expdb.WithWireDrainTimeout(drain),
+	}
+}
+
 // serveMetrics mounts the database's JSON metrics snapshot, the
 // lifecycle-event and slow-query-trace rings, and the pprof profiling
 // handlers on their own listener, detached from the wire protocol port
-// so operators can scrape without touching data traffic.
-func serveMetrics(addr string, db *expdb.DB) {
+// so operators can scrape without touching data traffic. The returned
+// server is shut down (not abandoned) on exit.
+func serveMetrics(addr string, db *expdb.DB) *http.Server {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", db.MetricsHandler())
 	mux.Handle("/debug/events", db.EventsHandler())
@@ -60,15 +90,17 @@ func serveMetrics(addr string, db *expdb.DB) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux}
 	go func() {
-		if err := http.ListenAndServe(addr, mux); err != nil {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "expsyncd: metrics listener:", err)
 		}
 	}()
 	fmt.Printf("metrics on http://%s/metrics (events/traces/pprof under /debug/)\n", addr)
+	return srv
 }
 
-func runServer(addr, metricsAddr string, ticks int) {
+func runServer(ctx context.Context, addr, metricsAddr string, ticks int, opts []expdb.WireServerOption) {
 	db := expdb.OpenWithNotify(os.Stdout)
 	if _, err := db.ExecScript(`
 		CREATE TABLE pol (uid INT, deg INT);
@@ -83,29 +115,54 @@ func runServer(addr, metricsAddr string, ticks int) {
 		fmt.Fprintln(os.Stderr, "expsyncd:", err)
 		os.Exit(1)
 	}
-	srv := wire.NewServer(db.Engine())
+	srv := db.NewWireServer(opts...)
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "expsyncd:", err)
 		os.Exit(1)
 	}
-	defer srv.Close()
+	var metricsSrv *http.Server
 	if metricsAddr != "" {
-		serveMetrics(metricsAddr, db)
+		metricsSrv = serveMetrics(metricsAddr, db)
 	}
 	fmt.Printf("serving Figure 1 database on %s; advancing 1 tick/second for %d ticks\n", bound, ticks)
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+loop:
 	for t := 1; t <= ticks; t++ {
-		time.Sleep(time.Second)
+		select {
+		case <-ctx.Done():
+			fmt.Println("expsyncd: signal received, shutting down")
+			break loop
+		case <-ticker.C:
+		}
+		// Advance failures are transient operator-visible conditions,
+		// not reasons to abandon connected view nodes.
 		if err := db.Advance(xtime.Time(t)); err != nil {
-			fmt.Fprintln(os.Stderr, "expsyncd:", err)
-			os.Exit(1)
+			fmt.Fprintln(os.Stderr, "expsyncd: advance:", err)
+			continue
 		}
 		fmt.Printf("tick %d (%s)\n", t, srv.Stats())
 	}
+	// Graceful teardown: drain wire connections (bounded by -drain via
+	// Close), then stop the metrics listener.
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "expsyncd: wire shutdown:", err)
+	}
+	if metricsSrv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := metricsSrv.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "expsyncd: metrics shutdown:", err)
+		}
+	}
+	wm := srv.WireMetrics()
+	fmt.Printf("wire: %s; accepted %d, rejected %d, timeouts %d, panics recovered %d\n",
+		srv.Stats(), wm.ConnsAccepted, wm.ConnsRejected, wm.Timeouts, wm.PanicsRecovered)
 }
 
-func runClient(addr, query string, patches bool, ticks int) {
-	c, err := wire.Dial(addr)
+func runClient(ctx context.Context, addr, query string, patches bool, ticks int, reqTimeout time.Duration) {
+	c, err := expdb.DialWire(addr, expdb.WithWireRequestTimeout(reqTimeout))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "expsyncd:", err)
 		os.Exit(1)
@@ -116,20 +173,39 @@ func runClient(addr, query string, patches bool, ticks int) {
 		os.Exit(1)
 	}
 	fmt.Printf("materialised %q (texp %s, patches %v)\n", query, c.Texp(), patches)
+	// The client's clock estimate: advanced from the server when
+	// reachable, locally (1 tick/second, matching the server's cadence)
+	// when degraded — the loosely-coupled synchronisation the paper
+	// assumes.
+	var now xtime.Time
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
 	for i := 0; i < ticks; i++ {
-		now, err := c.ServerTime()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "expsyncd:", err)
-			os.Exit(1)
+		if t, err := c.ServerTime(); err != nil {
+			// Transient failure: stay up, answer locally, resync later.
+			now++
+			fmt.Fprintf(os.Stderr, "expsyncd: server unreachable (%v); continuing %s at local tick %s\n",
+				err, c.State(), now)
+		} else {
+			now = t
 		}
 		rel, err := c.Read(now)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "expsyncd:", err)
-			os.Exit(1)
+			// Only possible when the copy is invalid AND reconnection
+			// failed — log, keep trying; the next tick may heal it.
+			fmt.Fprintln(os.Stderr, "expsyncd: read:", err)
+		} else {
+			fmt.Printf("tick %s [%s] — local answer (%d rows, refetches %d, patches %d, degraded reads %d):\n%s",
+				now, c.State(), rel.CountAt(now), c.Rematerializations, c.PatchesApplied,
+				c.DegradedReads, rel.Render(now))
 		}
-		fmt.Printf("server tick %s — local answer (%d rows, refetches %d, patches %d):\n%s",
-			now, rel.CountAt(now), c.Rematerializations, c.PatchesApplied, rel.Render(now))
-		time.Sleep(time.Second)
+		select {
+		case <-ctx.Done():
+			fmt.Println("expsyncd: signal received, closing session")
+			fmt.Printf("traffic: %s (reconnects %d, attempts %d)\n", c.Stats(), c.Reconnects, c.ReconnectAttempts)
+			return
+		case <-ticker.C:
+		}
 	}
-	fmt.Printf("traffic: %s\n", c.Stats())
+	fmt.Printf("traffic: %s (reconnects %d, attempts %d)\n", c.Stats(), c.Reconnects, c.ReconnectAttempts)
 }

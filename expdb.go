@@ -40,6 +40,7 @@ import (
 	"expdb/internal/tuple"
 	"expdb/internal/value"
 	"expdb/internal/view"
+	"expdb/internal/wire"
 	"expdb/internal/xtime"
 )
 
@@ -101,6 +102,36 @@ type (
 	Span = trace.Span
 	// Trace is a recorded slow statement: text, tick, span tree, total.
 	Trace = trace.Trace
+	// WireServer exposes an engine's relations to remote view nodes over
+	// the fault-tolerant wire protocol (deadlines, connection limits,
+	// panic recovery, graceful shutdown).
+	WireServer = wire.Server
+	// WireClient is a remote view node: it materialises once, answers
+	// reads locally while the copy is valid, and rides out network
+	// failures in a degraded-but-correct state.
+	WireClient = wire.Client
+	// WireClientState is the client's connectivity state (connected or
+	// degraded).
+	WireClientState = wire.State
+	// WireServerOption configures a WireServer (deadlines, caps, drain).
+	WireServerOption = wire.ServerOption
+	// WireClientOption configures a WireClient at dial time (timeouts,
+	// reconnect backoff).
+	WireClientOption = wire.ClientOption
+	// WireStats counts protocol traffic for one endpoint.
+	WireStats = wire.Stats
+	// WireMetricsSnapshot is the server's fault-tolerance counters:
+	// conns accepted/rejected, timeouts, panics recovered, reconnects.
+	WireMetricsSnapshot = wire.MetricsSnapshot
+)
+
+// Wire client connectivity states (see WireClient.State).
+const (
+	// WireConnected: the last network operation succeeded.
+	WireConnected = wire.StateConnected
+	// WireDegraded: the connection is down; reads are served from the
+	// local materialisation while it remains valid (tau < texp).
+	WireDegraded = wire.StateDegraded
 )
 
 // Where a view read came from (see ReadInfo.Source).
@@ -127,6 +158,18 @@ var (
 	// ErrInvalidRead: a view with recovery=reject was read outside its
 	// validity interval.
 	ErrInvalidRead = engine.ErrInvalidRead
+	// ErrWireProtocol: the remote peer is not an expdb wire endpoint or
+	// speaks an incompatible version (detected at handshake).
+	ErrWireProtocol = wire.ErrProtocol
+	// ErrWireServerBusy: the wire server is at its connection limit and
+	// cleanly rejected the dial.
+	ErrWireServerBusy = wire.ErrServerBusy
+	// ErrWireTooLarge: a single wire message exceeded the decode cap.
+	ErrWireTooLarge = wire.ErrTooLarge
+	// ErrWireDegraded: the client's local copy is invalid AND every
+	// reconnect attempt failed — the only condition under which a
+	// degraded read gives up.
+	ErrWireDegraded = wire.ErrDegraded
 )
 
 // Infinity is the expiration time of data that never expires.
@@ -204,6 +247,44 @@ func WithSlowQueryThreshold(d time.Duration) EngineOption {
 // engine.DefaultEventLogCapacity entries; oldest events are dropped and
 // counted once it fills).
 func WithEventLogCapacity(n int) EngineOption { return engine.WithEventLogCapacity(n) }
+
+// Wire server options (see internal/wire for defaults).
+
+// WithWireIdleTimeout disconnects a peer that neither completes a
+// request nor accepts a response within d (default 30s).
+func WithWireIdleTimeout(d time.Duration) WireServerOption { return wire.WithIdleTimeout(d) }
+
+// WithWireMaxMessageBytes caps one decoded message, bounding what a
+// hostile or corrupt peer can make the server allocate (default 8 MiB).
+func WithWireMaxMessageBytes(n int64) WireServerOption { return wire.WithMaxMessageBytes(n) }
+
+// WithWireMaxConns caps concurrent connections; excess dials are
+// rejected cleanly with ErrWireServerBusy (default 256).
+func WithWireMaxConns(n int) WireServerOption { return wire.WithMaxConns(n) }
+
+// WithWireDrainTimeout bounds how long Close waits for in-flight
+// requests before hard-closing stragglers (default 5s).
+func WithWireDrainTimeout(d time.Duration) WireServerOption { return wire.WithDrainTimeout(d) }
+
+// Wire client options.
+
+// WithWireDialTimeout bounds one TCP dial + protocol handshake.
+func WithWireDialTimeout(d time.Duration) WireClientOption { return wire.WithDialTimeout(d) }
+
+// WithWireRequestTimeout bounds one round trip when the caller's
+// context carries no deadline of its own (default 30s; 0 disables).
+func WithWireRequestTimeout(d time.Duration) WireClientOption { return wire.WithRequestTimeout(d) }
+
+// WithWireBackoff shapes reconnection: the delay starts at base,
+// doubles per attempt up to max (each jittered ±50%), and maxRetries
+// bounds attempts per operation.
+func WithWireBackoff(base, max time.Duration, maxRetries int) WireClientOption {
+	return wire.WithBackoff(base, max, maxRetries)
+}
+
+// WithWireJitterSeed seeds the reconnect jitter, making retry timing
+// deterministic for tests.
+func WithWireJitterSeed(seed int64) WireClientOption { return wire.WithJitterSeed(seed) }
 
 // DB bundles an engine with a SQL session — the one-import entry point.
 type DB struct {
@@ -290,6 +371,20 @@ func (db *DB) ReadViewRows(name string) ([]Row, error) {
 		return nil, err
 	}
 	return rel.Rows(info.At), nil
+}
+
+// NewWireServer exposes this database's relations to remote view nodes
+// over the fault-tolerant wire protocol. Call Listen on the result to
+// start serving, and Close (or Shutdown with a context) to drain and
+// stop.
+func (db *DB) NewWireServer(opts ...WireServerOption) *WireServer {
+	return wire.NewServer(db.eng, opts...)
+}
+
+// DialWire connects a remote view node to a wire server, performing the
+// protocol handshake. See WireClient for the degraded-read guarantees.
+func DialWire(addr string, opts ...WireClientOption) (*WireClient, error) {
+	return wire.Dial(addr, opts...)
 }
 
 // Metrics returns a snapshot of the engine's observability counters:

@@ -476,3 +476,66 @@ func TestAPITracing(t *testing.T) {
 		t.Fatalf("EXPLAIN ANALYZE missing actuals:\n%s", res.Msg)
 	}
 }
+
+// TestAPIWireSurface exercises every wire symbol the façade re-exports:
+// server construction + options, DialWire + options, degraded-state
+// reads, typed errors, and the fault-tolerance metrics snapshot.
+func TestAPIWireSurface(t *testing.T) {
+	db := apiDB(t)
+	var srv *expdb.WireServer = db.NewWireServer(
+		expdb.WithWireIdleTimeout(time.Minute),
+		expdb.WithWireMaxMessageBytes(1<<20),
+		expdb.WithWireMaxConns(8),
+		expdb.WithWireDrainTimeout(time.Second),
+	)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var c *expdb.WireClient
+	c, err = expdb.DialWire(addr,
+		expdb.WithWireDialTimeout(time.Second),
+		expdb.WithWireRequestTimeout(time.Second),
+		expdb.WithWireBackoff(time.Millisecond, 4*time.Millisecond, 2),
+		expdb.WithWireJitterSeed(42),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Materialize("SELECT uid FROM pol", false); err != nil {
+		t.Fatal(err)
+	}
+	var st expdb.WireClientState = c.State()
+	if st != expdb.WireConnected || st.String() != "connected" {
+		t.Fatalf("state = %v, want connected", st)
+	}
+	rel, err := c.Read(0)
+	if err != nil || rel.CountAt(0) != 3 {
+		t.Fatalf("read: %v (%d rows)", err, rel.CountAt(0))
+	}
+	var ws expdb.WireStats = c.Stats()
+	if ws.MessagesSent == 0 {
+		t.Fatal("no traffic counted")
+	}
+	var wm expdb.WireMetricsSnapshot = srv.WireMetrics()
+	if wm.ConnsAccepted != 1 || wm.ActiveConns != 1 {
+		t.Fatalf("wire metrics: %+v", wm)
+	}
+
+	// The typed errors are wrapped, not replaced.
+	if _, err := expdb.DialWire("127.0.0.1:1", expdb.WithWireDialTimeout(100*time.Millisecond)); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+	for _, sentinel := range []error{expdb.ErrWireProtocol, expdb.ErrWireServerBusy,
+		expdb.ErrWireTooLarge, expdb.ErrWireDegraded} {
+		if sentinel == nil || sentinel.Error() == "" {
+			t.Fatal("wire sentinel error missing")
+		}
+	}
+	if expdb.WireDegraded.String() != "degraded" {
+		t.Fatal("WireDegraded name")
+	}
+}

@@ -41,6 +41,24 @@ const (
 	// EvWireMaterialize: a remote node materialised a query over the
 	// wire protocol.
 	EvWireMaterialize
+	// EvWireConnOpen: the wire server accepted (and handshook) a
+	// connection.
+	EvWireConnOpen
+	// EvWireConnClose: a wire connection ended (Count carries the number
+	// of requests it served).
+	EvWireConnClose
+	// EvWireTimeout: a wire connection hit its idle read or write
+	// deadline and was closed.
+	EvWireTimeout
+	// EvWirePanic: a connection handler panicked and was recovered; the
+	// accept loop survived.
+	EvWirePanic
+	// EvWireReject: a connection was turned away — connection limit,
+	// handshake mismatch, oversized message, or accepted mid-Close.
+	EvWireReject
+	// EvWireShutdown: the wire server completed a graceful shutdown
+	// (Count carries the number of stragglers hard-closed).
+	EvWireShutdown
 )
 
 var eventKindNames = [...]string{
@@ -54,6 +72,12 @@ var eventKindNames = [...]string{
 	EvViewMoved:       "view-moved",
 	EvBudgetEvict:     "budget-evict",
 	EvWireMaterialize: "wire-materialize",
+	EvWireConnOpen:    "wire-conn-open",
+	EvWireConnClose:   "wire-conn-close",
+	EvWireTimeout:     "wire-timeout",
+	EvWirePanic:       "wire-panic",
+	EvWireReject:      "wire-reject",
+	EvWireShutdown:    "wire-shutdown",
 }
 
 // String names the kind.

@@ -1,13 +1,17 @@
 package wire
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"io"
 	"log"
 	"net"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"expdb/internal/engine"
 	"expdb/internal/sql"
@@ -15,21 +19,117 @@ import (
 	"expdb/internal/xtime"
 )
 
-// Server exposes an engine's relations to remote view nodes.
+// Fault-tolerance defaults. All are configurable per server via the
+// With* options; zero values in the config mean "use the default".
+const (
+	// DefaultIdleTimeout is how long a connection may sit idle (no
+	// complete request read, no response written) before the server
+	// closes it.
+	DefaultIdleTimeout = 30 * time.Second
+	// DefaultMaxMessageBytes caps a single decoded message, bounding
+	// what a hostile or corrupt peer can make gob allocate.
+	DefaultMaxMessageBytes = 8 << 20
+	// DefaultMaxConns caps concurrent connections; dials beyond it are
+	// rejected cleanly at handshake time with ErrServerBusy.
+	DefaultMaxConns = 256
+	// DefaultDrainTimeout bounds how long Close waits for in-flight
+	// connections before hard-closing the stragglers.
+	DefaultDrainTimeout = 5 * time.Second
+)
+
+// ServerOption configures a Server.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	idleTimeout time.Duration
+	maxMsgBytes int64
+	maxConns    int
+	drain       time.Duration
+}
+
+// WithIdleTimeout sets the per-connection read/write deadline: a peer
+// that neither completes a request nor accepts a response within d is
+// disconnected (default DefaultIdleTimeout).
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.idleTimeout = d }
+}
+
+// WithMaxMessageBytes caps the size of a single decoded message
+// (default DefaultMaxMessageBytes). The cap is enforced below gob, so an
+// oversized message fails with ErrTooLarge before it is allocated.
+func WithMaxMessageBytes(n int64) ServerOption {
+	return func(c *serverConfig) { c.maxMsgBytes = n }
+}
+
+// WithMaxConns caps concurrent connections (default DefaultMaxConns).
+// Excess dials complete the handshake, receive statusBusy, and are
+// closed — the client surfaces ErrServerBusy.
+func WithMaxConns(n int) ServerOption {
+	return func(c *serverConfig) { c.maxConns = n }
+}
+
+// WithDrainTimeout bounds how long Close/Shutdown waits for in-flight
+// connections before hard-closing them (default DefaultDrainTimeout).
+func WithDrainTimeout(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.drain = d }
+}
+
+// Server exposes an engine's relations to remote view nodes, and is
+// built to survive real networks: per-connection deadlines, a decode
+// byte cap, panic recovery in handlers, a connection limit with clean
+// rejection, a temporary-error-tolerant accept loop, and graceful
+// drain-then-hard-close shutdown. Every failure mode it rides out is
+// counted in WireMetrics and emitted as a trace lifecycle event.
 type Server struct {
 	eng  *engine.Engine
 	sqlm *sql.Metrics // shared by every per-request planning session
 	ln   net.Listener
+	cfg  serverConfig
+	wm   Metrics
 
 	mu      sync.Mutex
 	stats   Stats
 	closed  bool
+	conns   map[net.Conn]*connState
 	pending sync.WaitGroup
+
+	// testRespondHook, when set, runs before each respond — fault tests
+	// use it to hold a request in flight or to panic inside the handler.
+	testRespondHook func(*Request)
 }
 
-// NewServer wraps eng; call Serve with a listener to start.
-func NewServer(eng *engine.Engine) *Server {
-	return &Server{eng: eng, sqlm: &sql.Metrics{}}
+// setRespondHook installs (or clears) the test hook under the mutex.
+func (s *Server) setRespondHook(fn func(*Request)) {
+	s.mu.Lock()
+	s.testRespondHook = fn
+	s.mu.Unlock()
+}
+
+// NewServer wraps eng; call Listen (or Serve with your own listener) to
+// start.
+func NewServer(eng *engine.Engine, opts ...ServerOption) *Server {
+	cfg := serverConfig{
+		idleTimeout: DefaultIdleTimeout,
+		maxMsgBytes: DefaultMaxMessageBytes,
+		maxConns:    DefaultMaxConns,
+		drain:       DefaultDrainTimeout,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Server{
+		eng:   eng,
+		sqlm:  &sql.Metrics{},
+		cfg:   cfg,
+		conns: make(map[net.Conn]*connState),
+	}
+}
+
+// connState marks whether a connection is mid-request. Shutdown closes
+// idle connections (blocked in Decode, between requests) immediately and
+// drains only the in-flight ones.
+type connState struct {
+	inFlight atomic.Bool
 }
 
 // SQLMetrics returns the server's aggregated SQL planning metrics. The
@@ -38,6 +138,11 @@ func NewServer(eng *engine.Engine) *Server {
 // merges snapshots.
 func (s *Server) SQLMetrics() *sql.Metrics { return s.sqlm }
 
+// WireMetrics returns the fault-tolerance counters: connections
+// accepted/rejected, timeouts, panics recovered, oversized messages
+// refused, accept retries.
+func (s *Server) WireMetrics() MetricsSnapshot { return s.wm.Snapshot() }
+
 // Listen starts accepting on addr (e.g. "127.0.0.1:0") in a background
 // goroutine and returns the bound address.
 func (s *Server) Listen(addr string) (string, error) {
@@ -45,21 +150,81 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s.ln = ln
-	go s.acceptLoop()
+	s.Serve(ln)
 	return ln.Addr().String(), nil
 }
 
-// Close stops accepting and waits for in-flight connections.
-func (s *Server) Close() error {
+// Serve starts accepting on a caller-supplied listener in a background
+// goroutine — the seam fault tests use to inject accept errors.
+func (s *Server) Serve(ln net.Listener) {
 	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+}
+
+// Close gracefully shuts the server down with the configured drain
+// timeout: stop accepting, wait for in-flight connections, hard-close
+// stragglers.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.drain)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// Shutdown stops accepting, drains in-flight connections until ctx
+// expires, then hard-closes the stragglers so it always returns promptly
+// after the deadline. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closed
 	s.closed = true
+	ln := s.ln
 	s.mu.Unlock()
 	var err error
-	if s.ln != nil {
-		err = s.ln.Close()
+	if ln != nil && !already {
+		err = ln.Close()
 	}
-	s.pending.Wait()
+
+	// Idle connections (no request mid-flight) are closed immediately —
+	// they have nothing to drain; their handlers exit on the failed read.
+	s.mu.Lock()
+	for c, st := range s.conns {
+		if !st.inFlight.Load() {
+			c.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.pending.Wait()
+		close(done)
+	}()
+	stragglers := 0
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Drain deadline passed: hard-close whatever is still open. The
+		// handlers' next read/write fails and they exit; a handler stuck
+		// in pure computation cannot be killed, so wait only a short
+		// grace before returning rather than hanging Shutdown on it.
+		s.mu.Lock()
+		stragglers = len(s.conns)
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		select {
+		case <-done:
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+	if !already {
+		s.eng.Events().Emit(trace.Event{
+			Kind: trace.EvWireShutdown, Tick: s.eng.Now(), Count: int64(stragglers),
+		})
+	}
 	return err
 }
 
@@ -70,32 +235,165 @@ func (s *Server) Stats() Stats {
 	return s.stats
 }
 
-func (s *Server) acceptLoop() {
+// acceptLoop accepts until the listener closes, retrying temporary
+// errors with capped backoff instead of silently exiting, and rejecting
+// connections that race in during Close.
+func (s *Server) acceptLoop(ln net.Listener) {
+	backoff := 5 * time.Millisecond
+	const maxBackoff = 500 * time.Millisecond
 	for {
-		conn, err := s.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
-			return // listener closed
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() || isTemporary(err) {
+				s.wm.AcceptRetries.Inc()
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > maxBackoff {
+					backoff = maxBackoff
+				}
+				continue
+			}
+			log.Printf("wire: accept: %v", err)
+			return
 		}
-		s.pending.Add(1)
+		backoff = 5 * time.Millisecond
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			// Accepted during Close: reject instead of handling.
+			s.rejectConn(conn, statusClosing)
+			continue
+		}
+		atLimit := len(s.conns) >= s.cfg.maxConns
+		var st *connState
+		if !atLimit {
+			st = &connState{}
+			s.conns[conn] = st
+			s.pending.Add(1)
+		}
+		s.mu.Unlock()
+		if atLimit {
+			s.rejectConn(conn, statusBusy)
+			continue
+		}
 		go func() {
 			defer s.pending.Done()
-			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			if err := s.handle(conn, st); err != nil && !errors.Is(err, io.EOF) &&
+				!errors.Is(err, ErrProtocol) && !isClosedConn(err) {
 				log.Printf("wire: connection error: %v", err)
 			}
 		}()
 	}
 }
 
-func (s *Server) handle(conn net.Conn) error {
-	defer conn.Close()
-	cr := &countingReader{r: conn}
+// isTemporary reports whether err advertises itself as retryable.
+// net.Error.Temporary is deprecated but still what accept errors
+// (EMFILE, ECONNABORTED) implement; we treat it as a hint, never as
+// proof of permanence.
+func isTemporary(err error) bool {
+	var te interface{ Temporary() bool }
+	return errors.As(err, &te) && te.Temporary()
+}
+
+func isClosedConn(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}
+
+// rejectConn completes the handshake with a non-OK status so the peer
+// gets a clean typed error, then closes. Counted and logged as a
+// lifecycle event.
+func (s *Server) rejectConn(conn net.Conn, status byte) {
+	s.wm.ConnsRejected.Inc()
+	s.eng.Events().Emit(trace.Event{
+		Kind: trace.EvWireReject, Tick: s.eng.Now(), Name: conn.RemoteAddr().String(),
+	})
+	conn.SetDeadline(time.Now().Add(s.cfg.idleTimeout))
+	_ = writeHello(conn, ProtocolVersion, status)
+	conn.Close()
+}
+
+// handshake validates the client hello and answers it. It runs under
+// the idle deadline so a silent dialer cannot pin the handler.
+func (s *Server) handshake(conn net.Conn) error {
+	h, err := readHello(conn)
+	if err != nil {
+		s.wm.HandshakeFailures.Inc()
+		s.wm.ConnsRejected.Inc()
+		s.eng.Events().Emit(trace.Event{
+			Kind: trace.EvWireReject, Tick: s.eng.Now(), Name: conn.RemoteAddr().String(),
+		})
+		return err
+	}
+	if h.version != ProtocolVersion {
+		s.wm.HandshakeFailures.Inc()
+		s.wm.ConnsRejected.Inc()
+		_ = writeHello(conn, ProtocolVersion, statusVersion)
+		return ErrProtocol
+	}
+	return writeHello(conn, ProtocolVersion, statusOK)
+}
+
+// handle runs one connection's request loop: handshake, then decode →
+// respond → encode under per-operation deadlines, with panic recovery so
+// one bad request cannot kill the process, and a decode byte cap so one
+// hostile request cannot exhaust it.
+func (s *Server) handle(conn net.Conn, st *connState) (err error) {
+	requests := int64(0)
+	defer func() {
+		if r := recover(); r != nil {
+			s.wm.PanicsRecovered.Inc()
+			s.eng.Events().Emit(trace.Event{
+				Kind: trace.EvWirePanic, Tick: s.eng.Now(), Name: conn.RemoteAddr().String(),
+			})
+			log.Printf("wire: recovered handler panic: %v\n%s", r, debug.Stack())
+			err = nil // the panic is contained; the conn is simply closed
+		}
+		conn.Close()
+		s.wm.ActiveConns.Add(-1)
+		s.eng.Events().Emit(trace.Event{
+			Kind: trace.EvWireConnClose, Tick: s.eng.Now(),
+			Name: conn.RemoteAddr().String(), Count: requests,
+		})
+	}()
+	s.wm.ActiveConns.Add(1)
+
+	conn.SetDeadline(time.Now().Add(s.cfg.idleTimeout))
+	if err := s.handshake(conn); err != nil {
+		return err
+	}
+	s.wm.ConnsAccepted.Inc()
+	s.eng.Events().Emit(trace.Event{
+		Kind: trace.EvWireConnOpen, Tick: s.eng.Now(), Name: conn.RemoteAddr().String(),
+	})
+
+	capped := &cappedReader{r: conn, limit: s.cfg.maxMsgBytes}
+	cr := &countingReader{r: capped}
 	cw := &countingWriter{w: conn}
 	dec := gob.NewDecoder(cr)
 	enc := gob.NewEncoder(cw)
 	for {
 		var req Request
+		capped.Reset()
+		conn.SetDeadline(time.Now().Add(s.cfg.idleTimeout))
 		if err := dec.Decode(&req); err != nil {
-			return err
+			if capped.Tripped() || errors.Is(err, ErrTooLarge) {
+				s.wm.OversizedRejected.Inc()
+				s.eng.Events().Emit(trace.Event{
+					Kind: trace.EvWireReject, Tick: s.eng.Now(), Name: conn.RemoteAddr().String(),
+				})
+			}
+			return s.noteTimeout(err)
 		}
 		s.mu.Lock()
 		s.stats.MessagesReceived++
@@ -104,15 +402,44 @@ func (s *Server) handle(conn net.Conn) error {
 		if req.Kind == MsgClose {
 			return nil
 		}
-		resp := s.respond(&req)
-		if err := enc.Encode(resp); err != nil {
-			return err
+		st.inFlight.Store(true)
+		s.mu.Lock()
+		hook := s.testRespondHook
+		s.mu.Unlock()
+		if hook != nil {
+			hook(&req)
 		}
+		resp := s.respond(&req)
+		conn.SetDeadline(time.Now().Add(s.cfg.idleTimeout))
+		if err := enc.Encode(resp); err != nil {
+			st.inFlight.Store(false)
+			return s.noteTimeout(err)
+		}
+		st.inFlight.Store(false)
+		requests++
+		s.wm.RequestsServed.Inc()
 		s.mu.Lock()
 		s.stats.MessagesSent++
 		s.stats.BytesSent = cw.n
+		closing := s.closed
 		s.mu.Unlock()
+		if closing {
+			// A graceful shutdown drained this request; exit instead of
+			// waiting for another that will never be allowed to finish.
+			return nil
+		}
 	}
+}
+
+// noteTimeout counts deadline expiries (distinct from peer hangups) and
+// passes the error through.
+func (s *Server) noteTimeout(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		s.wm.Timeouts.Inc()
+		s.eng.Events().Emit(trace.Event{Kind: trace.EvWireTimeout, Tick: s.eng.Now()})
+	}
+	return err
 }
 
 func (s *Server) respond(req *Request) *Response {

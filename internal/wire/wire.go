@@ -14,11 +14,108 @@ package wire
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 
 	"expdb/internal/value"
 	"expdb/internal/xtime"
 )
+
+// Sentinel errors for the fault-tolerant wire layer. Both endpoints wrap
+// rather than replace these, so errors.Is works on anything the client
+// or server returns.
+var (
+	// ErrProtocol: the peer is not an expdb wire endpoint, or speaks an
+	// incompatible protocol version (detected at handshake, before gob
+	// ever touches the stream).
+	ErrProtocol = errors.New("wire: protocol mismatch")
+	// ErrServerBusy: the server is at its connection limit and cleanly
+	// turned the dial away.
+	ErrServerBusy = errors.New("wire: server at connection limit")
+	// ErrTooLarge: a single message exceeded the max-decode byte cap.
+	ErrTooLarge = errors.New("wire: message exceeds size cap")
+	// ErrDegraded: the local copy is invalid and every reconnect attempt
+	// failed — the one condition under which a degraded client's Read
+	// gives up.
+	ErrDegraded = errors.New("wire: degraded: local copy invalid and server unreachable")
+)
+
+// The handshake is a fixed 6-byte frame exchanged at dial time, before
+// gob touches the stream: 4 magic bytes, a version byte, and a status
+// byte. A mismatched or non-expdb peer therefore fails with ErrProtocol
+// instead of a garbage gob decode error, and a server at its connection
+// limit can reject cleanly (statusBusy) without entering the request
+// loop.
+const (
+	// ProtocolVersion is bumped on incompatible message-schema changes.
+	ProtocolVersion = 1
+
+	statusOK      = 0 // proceed to the request loop
+	statusBusy    = 1 // connection limit reached; dial again later
+	statusVersion = 2 // version mismatch; peer names its own in the hello
+	statusClosing = 3 // server is shutting down
+)
+
+var protocolMagic = [4]byte{'E', 'X', 'P', 'W'}
+
+// hello is one handshake frame.
+type hello struct {
+	magic   [4]byte
+	version byte
+	status  byte
+}
+
+func writeHello(w io.Writer, version, status byte) error {
+	frame := [6]byte{protocolMagic[0], protocolMagic[1], protocolMagic[2], protocolMagic[3], version, status}
+	_, err := w.Write(frame[:])
+	return err
+}
+
+func readHello(r io.Reader) (hello, error) {
+	var frame [6]byte
+	if _, err := io.ReadFull(r, frame[:]); err != nil {
+		return hello{}, err
+	}
+	h := hello{version: frame[4], status: frame[5]}
+	copy(h.magic[:], frame[:4])
+	if h.magic != protocolMagic {
+		return h, fmt.Errorf("%w: bad magic %q", ErrProtocol, frame[:4])
+	}
+	return h, nil
+}
+
+// cappedReader enforces the max-decode byte cap: once more than limit
+// bytes flow through between Reset calls it fails the stream, so a
+// hostile or corrupt peer cannot make gob allocate unboundedly. The
+// endpoint resets it before each Decode, bounding every message
+// individually (gob reads exactly one length-delimited message per
+// Decode, so the window aligns with message boundaries).
+type cappedReader struct {
+	r       io.Reader
+	limit   int64
+	n       int64
+	tripped bool
+}
+
+func (c *cappedReader) Reset() { c.n = 0 }
+
+// Tripped reports whether the cap has been exceeded since creation —
+// checked on decode errors because gob may wrap the reader's error.
+func (c *cappedReader) Tripped() bool { return c.tripped }
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.limit > 0 && c.n >= c.limit {
+		c.tripped = true
+		return 0, ErrTooLarge
+	}
+	if c.limit > 0 && int64(len(p)) > c.limit-c.n {
+		p = p[:c.limit-c.n]
+	}
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
 
 // MsgKind tags protocol messages.
 type MsgKind uint8

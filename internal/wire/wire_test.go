@@ -3,6 +3,7 @@ package wire
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"expdb/internal/engine"
 	"expdb/internal/sql"
@@ -12,9 +13,8 @@ import (
 	"expdb/internal/xtime"
 )
 
-// startServer loads the Figure 1 database and serves it on a loopback
-// port.
-func startServer(t *testing.T) (*engine.Engine, *Server, string) {
+// figure1Engine loads the paper's Figure 1 database.
+func figure1Engine(t *testing.T) *engine.Engine {
 	t.Helper()
 	eng := engine.New()
 	sess := sql.NewSession(eng, nil)
@@ -31,13 +31,43 @@ func startServer(t *testing.T) (*engine.Engine, *Server, string) {
 	if _, err := sess.ExecScript(script); err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(eng)
-	addr, err := srv.Listen("127.0.0.1:0")
+	return eng
+}
+
+// newTestServer wraps a Figure 1 engine in an (unstarted) server.
+func newTestServer(t *testing.T, opts ...ServerOption) (*engine.Engine, *Server) {
+	t.Helper()
+	eng := figure1Engine(t)
+	return eng, NewServer(eng, opts...)
+}
+
+// startServerAddr serves the Figure 1 database on a specific address
+// (retrying briefly, for restart tests that must rebind a just-freed
+// port).
+func startServerAddr(t *testing.T, addr string, opts ...ServerOption) (*engine.Engine, *Server, string) {
+	t.Helper()
+	eng, srv := newTestServer(t, opts...)
+	var bound string
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		bound, err = srv.Listen(addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { srv.Close() })
-	return eng, srv, addr
+	return eng, srv, bound
+}
+
+// startServer loads the Figure 1 database and serves it on a loopback
+// port.
+func startServer(t *testing.T) (*engine.Engine, *Server, string) {
+	t.Helper()
+	return startServerAddr(t, "127.0.0.1:0")
 }
 
 func TestMaterializeAndLocalReads(t *testing.T) {
