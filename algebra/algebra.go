@@ -59,6 +59,9 @@ type (
 	CmpOp = ialg.CmpOp
 	// CriticalRow is one element of a difference's critical set.
 	CriticalRow = ialg.CriticalRow
+	// Streamer is implemented by operators that can produce their result
+	// as a push stream (the pipelined execution path).
+	Streamer = ialg.Streamer
 )
 
 // Comparison operators.
@@ -119,4 +122,17 @@ var (
 	Walk = ialg.Walk
 	// IsMonotonic re-derives monotonicity structurally.
 	IsMonotonic = ialg.IsMonotonic
+	// EvalStream computes an expression through the pipelined streaming
+	// executor, collecting the stream into a relation (same result as
+	// Eval, no per-operator intermediates).
+	EvalStream = ialg.EvalStream
+	// StreamExpr pushes an expression's result rows into emit one at a
+	// time; non-streaming nodes are evaluated and their rows replayed.
+	StreamExpr = ialg.StreamExpr
+	// SetParallelism bounds the streaming executor's worker pool
+	// (n ≤ 0 restores the GOMAXPROCS default) and returns the previous
+	// bound.
+	SetParallelism = ialg.SetParallelism
+	// Parallelism returns the current effective worker bound.
+	Parallelism = ialg.Parallelism
 )

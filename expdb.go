@@ -370,7 +370,7 @@ func (db *DB) ReadViewRows(name string) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	return rel.Rows(info.At), nil
+	return rel.RowsSorted(info.At), nil
 }
 
 // NewWireServer exposes this database's relations to remote view nodes

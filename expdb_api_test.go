@@ -353,6 +353,35 @@ func TestAPIAlgebraSurface(t *testing.T) {
 	}
 	var _ []algebra.CriticalRow // Theorem 3 helper-queue element type
 	var _ algebra.AggKind = algebra.AggCount
+
+	// The streaming executor: EvalStream matches Eval, StreamExpr pushes
+	// the same rows, and the worker-pool bound round-trips.
+	prev := algebra.SetParallelism(2)
+	defer algebra.SetParallelism(prev)
+	if got := algebra.Parallelism(); got != 2 {
+		t.Fatalf("Parallelism = %d, want 2", got)
+	}
+	var _ algebra.Streamer = pol // base scans stream
+	for _, e := range []algebra.Expr{proj, join, union, inter, diff} {
+		want, err := e.Eval(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := algebra.EvalStream(e, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualAt(want, 0) {
+			t.Fatalf("EvalStream(%s) diverges from Eval", e)
+		}
+		streamed := 0
+		if err := algebra.StreamExpr(e, 0, func(expdb.Row) { streamed++ }); err != nil {
+			t.Fatal(err)
+		}
+		if streamed < want.CountAt(0) {
+			t.Fatalf("StreamExpr(%s) emitted %d rows, want ≥ %d", e, streamed, want.CountAt(0))
+		}
+	}
 }
 
 // TestAPITracing exercises the observability surface end to end: typed

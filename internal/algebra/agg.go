@@ -192,14 +192,16 @@ type partition struct {
 }
 
 func (a *Agg) partitions(tau xtime.Time) ([]*partition, error) {
-	in, err := a.Child.Eval(tau)
+	// Aggregation is a pipeline breaker: it needs set input, so the child
+	// stream is collected (and deduplicated) before partitioning.
+	in, err := EvalStream(a.Child, tau)
 	if err != nil {
 		return nil, err
 	}
 	byKey := map[string]*partition{}
 	var order []*partition
 	in.AliveAt(tau, func(row relation.Row) {
-		k := row.Tuple.Project(a.GroupCols).Key()
+		k := row.Tuple.KeyCols(a.GroupCols)
 		p := byKey[k]
 		if p == nil {
 			p = &partition{key: k}
@@ -308,7 +310,7 @@ func (a *Agg) Eval(tau xtime.Time) (*relation.Relation, error) {
 			t := make(tuple.Tuple, 0, len(row.Tuple)+len(vals))
 			t = append(t, row.Tuple...)
 			t = append(t, vals...)
-			out.Insert(t, xtime.Min(row.Texp, pt.time))
+			out.InsertOwnedRow(relation.Row{Tuple: t, Texp: xtime.Min(row.Texp, pt.time)})
 		}
 	}
 	return out, nil

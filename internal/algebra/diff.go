@@ -47,17 +47,19 @@ func (d *Diff) Eval(tau xtime.Time) (*relation.Relation, error) {
 	out := relation.New(d.Schema())
 	l.AliveAt(tau, func(row relation.Row) {
 		if !r.Contains(row.Tuple, tau) {
-			out.Insert(row.Tuple, row.Texp)
+			out.InsertOwnedRow(row)
 		}
 	})
 	return out, nil
 }
 
 func (d *Diff) evalArgs(tau xtime.Time) (l, r *relation.Relation, err error) {
-	if l, err = d.Left.Eval(tau); err != nil {
+	// Difference is a pipeline breaker: both arguments are collected from
+	// their streams (deduplicated set input) before the anti-join.
+	if l, err = EvalStream(d.Left, tau); err != nil {
 		return nil, nil, err
 	}
-	if r, err = d.Right.Eval(tau); err != nil {
+	if r, err = EvalStream(d.Right, tau); err != nil {
 		return nil, nil, err
 	}
 	return l, r, nil

@@ -42,7 +42,7 @@ func (s *Select) Eval(tau xtime.Time) (*relation.Relation, error) {
 	out := relation.New(s.Schema())
 	in.AliveAt(tau, func(row relation.Row) {
 		if s.Pred.Holds(row.Tuple) {
-			out.Insert(row.Tuple, row.Texp)
+			out.InsertOwnedRow(row)
 		}
 	})
 	return out, nil
@@ -98,7 +98,7 @@ func (p *Project) Eval(tau xtime.Time) (*relation.Relation, error) {
 	}
 	out := relation.New(p.Schema())
 	in.AliveAt(tau, func(row relation.Row) {
-		out.Insert(row.Tuple.Project(p.Cols), row.Texp)
+		out.InsertOwnedRow(relation.Row{Tuple: row.Tuple.Project(p.Cols), Texp: row.Texp})
 	})
 	return out, nil
 }
@@ -150,10 +150,16 @@ func (p *Product) Eval(tau xtime.Time) (*relation.Relation, error) {
 		return nil, err
 	}
 	out := relation.New(p.Schema())
+	// Hoist the alive right rows once instead of re-filtering the whole
+	// right relation per left row.
+	rrows := r.Rows(tau)
 	l.AliveAt(tau, func(lr relation.Row) {
-		r.AliveAt(tau, func(rr relation.Row) {
-			out.Insert(lr.Tuple.Concat(rr.Tuple), xtime.Min(lr.Texp, rr.Texp))
-		})
+		for _, rr := range rrows {
+			out.InsertOwnedRow(relation.Row{
+				Tuple: lr.Tuple.Concat(rr.Tuple),
+				Texp:  xtime.Min(lr.Texp, rr.Texp),
+			})
+		}
 	})
 	return out, nil
 }
@@ -206,8 +212,8 @@ func (u *Union) Eval(tau xtime.Time) (*relation.Relation, error) {
 		return nil, err
 	}
 	out := relation.New(u.Schema())
-	l.AliveAt(tau, func(row relation.Row) { out.Insert(row.Tuple, row.Texp) })
-	r.AliveAt(tau, func(row relation.Row) { out.Insert(row.Tuple, row.Texp) })
+	l.AliveAt(tau, func(row relation.Row) { out.InsertOwnedRow(row) })
+	r.AliveAt(tau, func(row relation.Row) { out.InsertOwnedRow(row) })
 	return out, nil
 }
 
@@ -295,22 +301,24 @@ func (j *Join) Eval(tau xtime.Time) (*relation.Relation, error) {
 	out := relation.New(j.Schema())
 	leftCols, rightCols, rest, ok := j.equiCols()
 	if !ok {
+		// Hoist the alive right rows once (see Product.Eval).
+		rrows := r.Rows(tau)
 		l.AliveAt(tau, func(lr relation.Row) {
-			r.AliveAt(tau, func(rr relation.Row) {
+			for _, rr := range rrows {
 				t := lr.Tuple.Concat(rr.Tuple)
 				if j.Pred.Holds(t) {
-					out.Insert(t, xtime.Min(lr.Texp, rr.Texp))
+					out.InsertOwnedRow(relation.Row{Tuple: t, Texp: xtime.Min(lr.Texp, rr.Texp)})
 				}
-			})
+			}
 		})
 		return out, nil
 	}
 	idx := r.BuildIndex(tau, rightCols)
 	l.AliveAt(tau, func(lr relation.Row) {
-		for _, rr := range idx.ProbeProjected(lr.Tuple.Project(leftCols)) {
+		for _, rr := range idx.ProbeKey(lr.Tuple.KeyCols(leftCols)) {
 			t := lr.Tuple.Concat(rr.Tuple)
 			if holdsAll(rest, t) {
-				out.Insert(t, xtime.Min(lr.Texp, rr.Texp))
+				out.InsertOwnedRow(relation.Row{Tuple: t, Texp: xtime.Min(lr.Texp, rr.Texp)})
 			}
 		}
 	})
@@ -379,7 +387,7 @@ func (x *Intersect) Eval(tau xtime.Time) (*relation.Relation, error) {
 	out := relation.New(x.Schema())
 	l.AliveAt(tau, func(row relation.Row) {
 		if rt, ok := r.Texp(row.Tuple); ok && rt > tau {
-			out.Insert(row.Tuple, xtime.Min(row.Texp, rt))
+			out.InsertOwnedRow(relation.Row{Tuple: row.Tuple, Texp: xtime.Min(row.Texp, rt)})
 		}
 	})
 	return out, nil

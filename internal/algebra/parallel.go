@@ -1,0 +1,116 @@
+package algebra
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"expdb/internal/relation"
+	"expdb/internal/xtime"
+)
+
+// maxWorkers bounds the streaming executor's worker pool; 0 means "use
+// GOMAXPROCS". Stored atomically so tests and operators can retune it on a
+// live engine.
+var maxWorkers atomic.Int32
+
+// SetParallelism bounds the number of goroutines a single streaming
+// operator may fan out to and returns the previous bound. n ≤ 0 restores
+// the default (GOMAXPROCS). On a single-core runner the pool degrades to
+// inline execution — no goroutines, no channels.
+func SetParallelism(n int) int {
+	prev := workerCount()
+	if n < 0 {
+		n = 0
+	}
+	maxWorkers.Store(int32(n))
+	return prev
+}
+
+// Parallelism returns the current effective worker bound.
+func Parallelism() int { return workerCount() }
+
+func workerCount() int {
+	if n := maxWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// streamChunk is the number of rows a worker takes per unit of work.
+// Inputs smaller than two chunks are never parallelised: the goroutine
+// hand-off would cost more than the row work.
+const streamChunk = 256
+
+// parallelRows returns the alive rows of r as a slice when a chunked
+// parallel scan over them is worthwhile, i.e. the pool has more than one
+// worker and the relation spans at least two chunks.
+func parallelRows(r *relation.Relation, tau xtime.Time) ([]relation.Row, bool) {
+	if workerCount() < 2 || r.Len() < 2*streamChunk {
+		return nil, false
+	}
+	return r.Rows(tau), true
+}
+
+// parallelFilterMap applies fn to every row of rows, fanning chunks of
+// streamChunk rows out across the worker pool, and emits the produced rows
+// in input chunk order on the calling goroutine — emit is never called
+// concurrently, so downstream operators need no locking, and the output
+// order is independent of worker scheduling (the deterministic merge).
+//
+// fn appends zero or more result rows to *out; it runs concurrently with
+// other fn calls and must only read shared state (tuples are immutable,
+// join indexes are frozen after build, tuple key buffers are pooled
+// per-goroutine — all safe).
+//
+// Each chunk's result channel is buffered, so workers never block on a
+// slow consumer and the merge loop cannot deadlock however the chunks are
+// scheduled. Small inputs and single-worker pools run inline.
+func parallelFilterMap(rows []relation.Row, fn func(relation.Row, *[]relation.Row), emit func(relation.Row)) {
+	workers := workerCount()
+	nChunks := (len(rows) + streamChunk - 1) / streamChunk
+	if workers < 2 || nChunks < 2 {
+		var buf []relation.Row
+		for _, row := range rows {
+			fn(row, &buf)
+		}
+		for _, row := range buf {
+			emit(row)
+		}
+		return
+	}
+	if workers > nChunks {
+		workers = nChunks
+	}
+	results := make([]chan []relation.Row, nChunks)
+	for i := range results {
+		results[i] = make(chan []relation.Row, 1)
+	}
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				lo := i * streamChunk
+				hi := lo + streamChunk
+				if hi > len(rows) {
+					hi = len(rows)
+				}
+				var out []relation.Row
+				for _, row := range rows[lo:hi] {
+					fn(row, &out)
+				}
+				results[i] <- out
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < nChunks; i++ {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	for i := 0; i < nChunks; i++ {
+		for _, row := range <-results[i] {
+			emit(row)
+		}
+	}
+}

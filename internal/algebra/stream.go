@@ -1,0 +1,205 @@
+package algebra
+
+import (
+	"expdb/internal/relation"
+	"expdb/internal/xtime"
+)
+
+// This file implements the pipelined, push-based execution path: operators
+// push rows through the tree one at a time instead of materialising a
+// relation per node (see DESIGN.md "Execution engine").
+//
+// Correctness of streaming without per-operator duplicate elimination: a
+// stream may carry several rows with equal tuples and different expiration
+// times where Eval's relations would hold one row with the maximum. Every
+// monotonic operator either passes expiration times through (σ, π) or
+// combines them with min (×, ⋈, ∩), and duplicate elimination takes max —
+// and max_i min(a_i, s) = min(max_i a_i, s), so deduplicating once at the
+// top (EvalStream's collector, or any relation the rows are inserted into)
+// yields exactly the rows and texp values Eval produces. Non-monotonic
+// operators (Agg, Diff) do need set input and therefore act as pipeline
+// breakers: StreamExpr falls back to their Eval, which collects each child
+// through EvalStream.
+
+// Streamer is implemented by operators able to produce their result as a
+// push stream. Stream calls emit once per result row at time tau; rows
+// with equal tuples may be emitted more than once (see above). Emitted
+// tuples are shared storage — the immutability invariant of
+// relation.Relation applies — and emit runs on the calling goroutine, so
+// it needs no internal locking.
+type Streamer interface {
+	Stream(tau xtime.Time, emit func(relation.Row)) error
+}
+
+// StreamExpr streams the result of e at tau into emit. Expressions that do
+// not implement Streamer (pipeline breakers like Agg and Diff, or wrapper
+// nodes such as EXPLAIN ANALYZE's instrumentation) are evaluated and their
+// result pushed row by row, so any tree streams.
+func StreamExpr(e Expr, tau xtime.Time, emit func(relation.Row)) error {
+	if s, ok := e.(Streamer); ok {
+		return s.Stream(tau, emit)
+	}
+	rel, err := e.Eval(tau)
+	if err != nil {
+		return err
+	}
+	rel.AliveAt(tau, emit)
+	return nil
+}
+
+// EvalStream computes e at tau through the streaming path, collecting the
+// stream into a relation. The collector's duplicate handling (max texp
+// wins) is the single point of duplicate elimination for the whole
+// monotonic pipeline; the result is Eval's, without the per-operator
+// intermediate relations. It is the evaluation entry point used by the
+// engine, views and the SQL layer.
+func EvalStream(e Expr, tau xtime.Time) (*relation.Relation, error) {
+	out := relation.New(e.Schema())
+	err := StreamExpr(e, tau, func(row relation.Row) {
+		out.InsertOwnedRow(row)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stream implements Streamer: a base scan pushes expτ(R) straight out of
+// the stored relation — no snapshot, no clone. The caller must hold the
+// table's read lock, exactly as for Eval.
+func (b *Base) Stream(tau xtime.Time, emit func(relation.Row)) error {
+	b.Rel.AliveAt(tau, emit)
+	return nil
+}
+
+// Stream implements Streamer, formula (1). A selection directly over a
+// base relation is the fused fast path for parallel execution: the scan is
+// chunked and the predicate evaluated across the worker pool.
+func (s *Select) Stream(tau xtime.Time, emit func(relation.Row)) error {
+	if b, ok := s.Child.(*Base); ok {
+		if rows, big := parallelRows(b.Rel, tau); big {
+			parallelFilterMap(rows, func(row relation.Row, out *[]relation.Row) {
+				if s.Pred.Holds(row.Tuple) {
+					*out = append(*out, row)
+				}
+			}, emit)
+			return nil
+		}
+	}
+	return StreamExpr(s.Child, tau, func(row relation.Row) {
+		if s.Pred.Holds(row.Tuple) {
+			emit(row)
+		}
+	})
+}
+
+// Stream implements Streamer, formula (3): project each row, pass texp
+// through. Duplicate merging (max) happens at the collector.
+func (p *Project) Stream(tau xtime.Time, emit func(relation.Row)) error {
+	return StreamExpr(p.Child, tau, func(row relation.Row) {
+		emit(relation.Row{Tuple: row.Tuple.Project(p.Cols), Texp: row.Texp})
+	})
+}
+
+// Stream implements Streamer, formula (2): the right argument is collected
+// once (deduplicated), then left rows stream through and pair with it.
+func (p *Product) Stream(tau xtime.Time, emit func(relation.Row)) error {
+	r, err := EvalStream(p.Right, tau)
+	if err != nil {
+		return err
+	}
+	rrows := r.Rows(tau)
+	return StreamExpr(p.Left, tau, func(lr relation.Row) {
+		for _, rr := range rrows {
+			emit(relation.Row{Tuple: lr.Tuple.Concat(rr.Tuple), Texp: xtime.Min(lr.Texp, rr.Texp)})
+		}
+	})
+}
+
+// Stream implements Streamer, formula (4): both argument streams are
+// forwarded; the max-texp rule for tuples in both arguments is the
+// collector's duplicate handling.
+func (u *Union) Stream(tau xtime.Time, emit func(relation.Row)) error {
+	if err := StreamExpr(u.Left, tau, emit); err != nil {
+		return err
+	}
+	return StreamExpr(u.Right, tau, emit)
+}
+
+// Stream implements Streamer, formula (5): the right (build) side is
+// collected and hash-indexed on the equi-join columns, then left (probe)
+// rows stream through the index. Large probe sides fan out across the
+// worker pool — the index is immutable after build, so probing is
+// lock-free — with results merged back in probe order on the calling
+// goroutine. Without equality conjuncts it degrades to a streamed nested
+// loop over the hoisted right rows.
+func (j *Join) Stream(tau xtime.Time, emit func(relation.Row)) error {
+	r, err := EvalStream(j.Right, tau)
+	if err != nil {
+		return err
+	}
+	leftCols, rightCols, rest, ok := j.equiCols()
+	if !ok {
+		rrows := r.Rows(tau)
+		return StreamExpr(j.Left, tau, func(lr relation.Row) {
+			for _, rr := range rrows {
+				t := lr.Tuple.Concat(rr.Tuple)
+				if j.Pred.Holds(t) {
+					emit(relation.Row{Tuple: t, Texp: xtime.Min(lr.Texp, rr.Texp)})
+				}
+			}
+		})
+	}
+	idx := r.BuildIndex(tau, rightCols)
+	probe := func(lr relation.Row, out *[]relation.Row) {
+		for _, rr := range idx.ProbeKey(lr.Tuple.KeyCols(leftCols)) {
+			t := lr.Tuple.Concat(rr.Tuple)
+			if holdsAll(rest, t) {
+				*out = append(*out, relation.Row{Tuple: t, Texp: xtime.Min(lr.Texp, rr.Texp)})
+			}
+		}
+	}
+	if workerCount() > 1 {
+		var lrows []relation.Row
+		if err := StreamExpr(j.Left, tau, func(row relation.Row) {
+			lrows = append(lrows, row)
+		}); err != nil {
+			return err
+		}
+		if len(lrows) >= 2*streamChunk {
+			parallelFilterMap(lrows, probe, emit)
+			return nil
+		}
+		var buf []relation.Row
+		for _, lr := range lrows {
+			buf = buf[:0]
+			probe(lr, &buf)
+			for _, row := range buf {
+				emit(row)
+			}
+		}
+		return nil
+	}
+	var buf []relation.Row
+	return StreamExpr(j.Left, tau, func(lr relation.Row) {
+		buf = buf[:0]
+		probe(lr, &buf)
+		for _, row := range buf {
+			emit(row)
+		}
+	})
+}
+
+// Stream implements Streamer, formula (6): the right argument is collected
+// for membership probes, then left rows stream through.
+func (x *Intersect) Stream(tau xtime.Time, emit func(relation.Row)) error {
+	r, err := EvalStream(x.Right, tau)
+	if err != nil {
+		return err
+	}
+	return StreamExpr(x.Left, tau, func(row relation.Row) {
+		if rt, ok := r.Texp(row.Tuple); ok && rt > tau {
+			emit(relation.Row{Tuple: row.Tuple, Texp: xtime.Min(row.Texp, rt)})
+		}
+	})
+}

@@ -108,7 +108,7 @@ func RunE2(w io.Writer) error {
 		serve := time.Since(start) / reads
 		start = time.Now()
 		for i := 0; i < reads; i++ {
-			if _, err := join.Eval(xtime.Time(i % 100)); err != nil {
+			if _, err := algebra.EvalStream(join, xtime.Time(i%100)); err != nil {
 				return err
 			}
 		}

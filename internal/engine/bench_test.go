@@ -92,6 +92,46 @@ func BenchmarkParallelInsertQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkViewReadServe measures the serve-from-materialisation read
+// path: a valid materialised view answered without recomputation. With
+// the copying Snapshot this deep-copied all n rows per read; the shared
+// snapshot makes it O(1) regardless of view size.
+func BenchmarkViewReadServe(b *testing.B) {
+	e, names := benchTables(b, 1)
+	for i := 0; i < 1000; i++ {
+		if err := e.Insert(names[0], tuple.Ints(int64(i), int64(i%100)), 1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	base, err := e.Base(names[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.CreateView("v", base); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.ReadView("v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmptyAdvance measures a clock tick with nothing scheduled —
+// the idle heartbeat of a polling deployment. It must not allocate.
+func BenchmarkEmptyAdvance(b *testing.B) {
+	e, _ := benchTables(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Advance(xtime.Time(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAdvanceLargeDelta advances an eager engine across huge sparse
 // clock jumps: a handful of scheduled expirations separated by million-
 // tick empty spans. With the per-tick wheel this cost O(Δt) per jump;

@@ -655,7 +655,7 @@ func (e *Engine) Query(expr algebra.Expr) (*relation.Relation, error) {
 	e.mu.RLock()
 	now := e.now
 	e.mu.RUnlock()
-	return expr.Eval(now)
+	return algebra.EvalStream(expr, now)
 }
 
 // MaterializeExpr atomically evaluates expr at the current tick and
@@ -670,7 +670,7 @@ func (e *Engine) MaterializeExpr(expr algebra.Expr, wantHelper bool) (rel *relat
 	e.mu.RLock()
 	now = e.now
 	e.mu.RUnlock()
-	rel, err = expr.Eval(now)
+	rel, err = algebra.EvalStream(expr, now)
 	if err != nil {
 		return nil, 0, nil, now, err
 	}

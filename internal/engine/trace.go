@@ -73,7 +73,7 @@ func (e *Engine) QueryTraced(expr algebra.Expr) (*relation.Relation, xtime.Time,
 	e.mu.RLock()
 	now := e.now
 	e.mu.RUnlock()
-	rel, err := expr.Eval(now)
+	rel, err := algebra.EvalStream(expr, now)
 	return rel, now, err
 }
 

@@ -35,11 +35,28 @@ type Row struct {
 // so concurrent access must go through Lock/RLock; relations used as
 // single-goroutine intermediates (operator results, snapshots) can skip
 // locking entirely and pay nothing.
+//
+// Stored tuples are immutable: Insert clones caller-provided tuples, and
+// no reader may write into a tuple obtained from a relation. The
+// invariant is what makes the zero-copy execution paths safe — snapshots,
+// streamed rows and InsertOwned all share tuple storage rather than
+// cloning it (see DESIGN.md "Execution engine").
 type Relation struct {
 	mu     sync.RWMutex
 	order  uint64 // global acquisition order for multi-relation locking
 	schema tuple.Schema
 	rows   map[string]Row // set key -> row
+	// floor is the snapshot instant of a SnapshotShared result: rows with
+	// texp ≤ floor are treated as absent by every accessor (the lazy
+	// alive-at-τ filter), so a shared snapshot observes exactly what a
+	// physical Snapshot(floor) would contain. 0 for ordinary relations.
+	floor xtime.Time
+	// shared marks the row map as aliased by at least one other Relation
+	// (SnapshotShared). The first mutation through either handle detaches
+	// it: the map is shallow-copied (tuples stay shared — they are
+	// immutable) and the write goes to the private copy, so snapshots
+	// handed out earlier never observe later mutations.
+	shared bool
 }
 
 // lockSeq hands out the global lock-acquisition order of relations.
@@ -79,9 +96,47 @@ func FromRows(schema tuple.Schema, rows []Row) *Relation {
 // Schema returns the relation's schema.
 func (r *Relation) Schema() tuple.Schema { return r.schema }
 
+// effTau is the effective filter instant: accessors of a shared snapshot
+// never reveal rows at or below its floor, whatever tau a caller passes.
+func (r *Relation) effTau(tau xtime.Time) xtime.Time {
+	if tau < r.floor {
+		return r.floor
+	}
+	return tau
+}
+
+// detach gives r a private row map before a mutation when the current map
+// is shared with snapshots. Rows dead at the floor are dropped while
+// copying — they were invisible anyway. Tuples are never copied.
+func (r *Relation) detach() {
+	if !r.shared {
+		return
+	}
+	rows := make(map[string]Row, len(r.rows))
+	for k, row := range r.rows {
+		if row.Texp > r.floor {
+			rows[k] = row
+		}
+	}
+	r.rows = rows
+	r.shared = false
+}
+
 // Len returns the number of stored tuples, including ones that may already
 // have expired logically but have not been removed (lazy removal, §3.2).
-func (r *Relation) Len() int { return len(r.rows) }
+// A shared snapshot counts only the rows alive at its snapshot instant.
+func (r *Relation) Len() int {
+	if r.floor == 0 {
+		return len(r.rows)
+	}
+	n := 0
+	for _, row := range r.rows {
+		if row.Texp > r.floor {
+			n++
+		}
+	}
+	return n
+}
 
 // Insert adds t with expiration texp. If an equal tuple is present the
 // larger expiration time wins (set semantics consistent with ∪exp). It
@@ -103,6 +158,7 @@ func (r *Relation) InsertPrev(t tuple.Tuple, texp xtime.Time) (changed bool, pre
 // sparing the hot insert path a second key encoding. key must equal
 // t.Key().
 func (r *Relation) InsertKeyed(key string, t tuple.Tuple, texp xtime.Time) (changed bool, prev xtime.Time, had bool) {
+	r.detach()
 	if old, ok := r.rows[key]; ok {
 		if texp > old.Texp {
 			r.rows[key] = Row{Tuple: old.Tuple, Texp: texp}
@@ -114,25 +170,45 @@ func (r *Relation) InsertKeyed(key string, t tuple.Tuple, texp xtime.Time) (chan
 	return true, 0, false
 }
 
+// InsertOwned is InsertKeyed for tuples the relation may store without a
+// defensive clone: tuples freshly built by an operator, or shared
+// immutable tuples already stored in another relation. key must equal
+// t.Key(). The streaming executor routes every operator result through
+// it, so tuples flow from base storage to query results without a single
+// copy.
+func (r *Relation) InsertOwned(key string, t tuple.Tuple, texp xtime.Time) bool {
+	r.detach()
+	if old, ok := r.rows[key]; ok {
+		if texp > old.Texp {
+			r.rows[key] = Row{Tuple: old.Tuple, Texp: texp}
+			return true
+		}
+		return false
+	}
+	r.rows[key] = Row{Tuple: t, Texp: texp}
+	return true
+}
+
+// InsertOwnedRow is InsertOwned for a Row value, computing the set key.
+func (r *Relation) InsertOwnedRow(row Row) bool {
+	return r.InsertOwned(row.Tuple.Key(), row.Tuple, row.Texp)
+}
+
 // InsertRow is Insert for a Row value.
 func (r *Relation) InsertRow(row Row) bool { return r.Insert(row.Tuple, row.Texp) }
 
 // Delete removes the tuple equal to t, reporting whether it was present.
 func (r *Relation) Delete(t tuple.Tuple) bool {
-	k := t.Key()
-	if _, ok := r.rows[k]; !ok {
-		return false
-	}
-	delete(r.rows, k)
-	return true
+	return r.DeleteKey(t.Key())
 }
 
 // DeleteKey removes the tuple stored under key (a value of Tuple.Key),
 // reporting whether it was present.
 func (r *Relation) DeleteKey(key string) bool {
-	if _, ok := r.rows[key]; !ok {
+	if row, ok := r.rows[key]; !ok || row.Texp <= r.floor {
 		return false
 	}
+	r.detach()
 	delete(r.rows, key)
 	return true
 }
@@ -142,13 +218,25 @@ func (r *Relation) DeleteKey(key string) bool {
 // mutate it, and should only retain it after deleting the row.
 func (r *Relation) RowByKey(key string) (Row, bool) {
 	row, ok := r.rows[key]
-	return row, ok
+	if !ok || row.Texp <= r.floor {
+		return Row{}, false
+	}
+	return row, true
 }
 
 // Texp returns texp_R(t) and whether t ∈ R.
 func (r *Relation) Texp(t tuple.Tuple) (xtime.Time, bool) {
 	row, ok := r.rows[t.Key()]
-	if !ok {
+	if !ok || row.Texp <= r.floor {
+		return 0, false
+	}
+	return row.Texp, true
+}
+
+// TexpKey is Texp for callers that already computed t.Key().
+func (r *Relation) TexpKey(key string) (xtime.Time, bool) {
+	row, ok := r.rows[key]
+	if !ok || row.Texp <= r.floor {
 		return 0, false
 	}
 	return row.Texp, true
@@ -158,12 +246,13 @@ func (r *Relation) Texp(t tuple.Tuple) (xtime.Time, bool) {
 // time tau.
 func (r *Relation) Contains(t tuple.Tuple, tau xtime.Time) bool {
 	row, ok := r.rows[t.Key()]
-	return ok && row.Texp > tau
+	return ok && row.Texp > r.effTau(tau)
 }
 
 // AliveAt calls fn for every row of expτ(R). Iteration order is
 // unspecified; fn must not mutate the relation.
 func (r *Relation) AliveAt(tau xtime.Time, fn func(Row)) {
+	tau = r.effTau(tau)
 	for _, row := range r.rows {
 		if row.Texp > tau {
 			fn(row)
@@ -171,15 +260,19 @@ func (r *Relation) AliveAt(tau xtime.Time, fn func(Row)) {
 	}
 }
 
-// All calls fn for every stored row regardless of expiration.
+// All calls fn for every stored row regardless of expiration (for a
+// shared snapshot: every row alive at its snapshot instant).
 func (r *Relation) All(fn func(Row)) {
 	for _, row := range r.rows {
-		fn(row)
+		if row.Texp > r.floor {
+			fn(row)
+		}
 	}
 }
 
 // CountAt returns |expτ(R)|.
 func (r *Relation) CountAt(tau xtime.Time) int {
+	tau = r.effTau(tau)
 	n := 0
 	for _, row := range r.rows {
 		if row.Texp > tau {
@@ -189,22 +282,46 @@ func (r *Relation) CountAt(tau xtime.Time) int {
 	return n
 }
 
-// Snapshot returns a new relation holding exactly expτ(R).
+// Snapshot returns a new relation holding exactly expτ(R). The result has
+// a private row map but shares the (immutable) tuples with r, so the cost
+// is one map, not a deep copy of the data.
 func (r *Relation) Snapshot(tau xtime.Time) *Relation {
+	tau = r.effTau(tau)
 	out := New(r.schema)
 	for k, row := range r.rows {
 		if row.Texp > tau {
-			out.rows[k] = Row{Tuple: row.Tuple.Clone(), Texp: row.Texp}
+			out.rows[k] = row
 		}
 	}
 	return out
 }
 
-// Clone returns a deep copy of r, expired rows included.
+// SnapshotShared returns expτ(R) as a zero-copy snapshot: the result
+// aliases r's row map (O(1), no allocation beyond the header) and filters
+// rows dead at tau lazily on every access. Both handles stay safe to
+// mutate — the first mutation on either side copies the map before
+// writing (tuples are immutable and stay shared), so the snapshot is
+// effectively immutable from the moment it is taken. Views use it to
+// serve reads from the materialisation without copying it.
+func (r *Relation) SnapshotShared(tau xtime.Time) *Relation {
+	r.shared = true
+	return &Relation{
+		order:  lockSeq.Add(1),
+		schema: r.schema,
+		rows:   r.rows,
+		floor:  r.effTau(tau),
+		shared: true,
+	}
+}
+
+// Clone returns an independent copy of r, expired rows included. Tuples
+// are shared (they are immutable); the row map is private.
 func (r *Relation) Clone() *Relation {
 	out := New(r.schema)
 	for k, row := range r.rows {
-		out.rows[k] = Row{Tuple: row.Tuple.Clone(), Texp: row.Texp}
+		if row.Texp > r.floor {
+			out.rows[k] = row
+		}
 	}
 	return out
 }
@@ -213,6 +330,7 @@ func (r *Relation) Clone() *Relation {
 // This is the eager/lazy removal hook of §3.2: eager engines call it on
 // every expiration event, lazy ones batch calls.
 func (r *Relation) RemoveExpired(tau xtime.Time) []Row {
+	r.detach()
 	var removed []Row
 	for k, row := range r.rows {
 		if row.Texp <= tau {
@@ -227,6 +345,7 @@ func (r *Relation) RemoveExpired(tau xtime.Time) []Row {
 // tau, or Infinity when no stored tuple expires after tau. Engines use it
 // to schedule sweeps and triggers.
 func (r *Relation) NextExpiration(tau xtime.Time) xtime.Time {
+	tau = r.effTau(tau)
 	next := xtime.Infinity
 	for _, row := range r.rows {
 		if row.Texp > tau && row.Texp < next {
@@ -236,15 +355,25 @@ func (r *Relation) NextExpiration(tau xtime.Time) xtime.Time {
 	return next
 }
 
-// Rows returns the rows of expτ(R) sorted by tuple order — a deterministic
-// view for tests, rendering and wire transfer.
+// Rows returns the rows of expτ(R) in unspecified order — the
+// allocation-lean form for executor hot paths that only need the alive
+// set. Deterministic consumers (rendering, tests, the wire) want
+// RowsSorted.
 func (r *Relation) Rows(tau xtime.Time) []Row {
+	tau = r.effTau(tau)
 	out := make([]Row, 0, len(r.rows))
 	for _, row := range r.rows {
 		if row.Texp > tau {
 			out = append(out, row)
 		}
 	}
+	return out
+}
+
+// RowsSorted returns the rows of expτ(R) sorted by tuple order — a
+// deterministic view for tests, rendering and wire transfer.
+func (r *Relation) RowsSorted(tau xtime.Time) []Row {
+	out := r.Rows(tau)
 	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
 	return out
 }
@@ -255,10 +384,11 @@ func (r *Relation) EqualAt(o *Relation, tau xtime.Time) bool {
 	if r.CountAt(tau) != o.CountAt(tau) {
 		return false
 	}
+	otau := o.effTau(tau)
 	equal := true
 	r.AliveAt(tau, func(row Row) {
 		other, ok := o.rows[row.Tuple.Key()]
-		if !ok || other.Texp <= tau || other.Texp != row.Texp {
+		if !ok || other.Texp <= otau || other.Texp != row.Texp {
 			equal = false
 		}
 	})
@@ -271,10 +401,11 @@ func (r *Relation) SameTuplesAt(o *Relation, tau xtime.Time) bool {
 	if r.CountAt(tau) != o.CountAt(tau) {
 		return false
 	}
+	otau := o.effTau(tau)
 	equal := true
 	r.AliveAt(tau, func(row Row) {
 		other, ok := o.rows[row.Tuple.Key()]
-		if !ok || other.Texp <= tau {
+		if !ok || other.Texp <= otau {
 			equal = false
 		}
 	})
@@ -293,7 +424,7 @@ func (r *Relation) Render(tau xtime.Time) string {
 		fmt.Fprintf(&b, " %s", c.Name)
 	}
 	b.WriteByte('\n')
-	for _, row := range r.Rows(tau) {
+	for _, row := range r.RowsSorted(tau) {
 		fmt.Fprintf(&b, "%4s |", row.Texp)
 		for _, v := range row.Tuple {
 			fmt.Fprintf(&b, " %s", v)
@@ -310,25 +441,41 @@ type Index struct {
 	m    map[string][]Row
 }
 
+// NewIndex returns an empty index over the given 0-based columns; feed it
+// with Add. The streaming executor uses it to build the join hash table
+// from a child stream instead of a materialised relation.
+func NewIndex(cols []int) *Index {
+	return &Index{cols: cols, m: make(map[string][]Row)}
+}
+
+// Add indexes one row under the key of its indexed columns.
+func (idx *Index) Add(row Row) {
+	k := row.Tuple.KeyCols(idx.cols)
+	idx.m[k] = append(idx.m[k], row)
+}
+
 // BuildIndex builds an index of expτ(R) on the given 0-based columns.
 func (r *Relation) BuildIndex(tau xtime.Time, cols []int) *Index {
-	idx := &Index{cols: cols, m: make(map[string][]Row)}
-	r.AliveAt(tau, func(row Row) {
-		k := row.Tuple.Project(cols).Key()
-		idx.m[k] = append(idx.m[k], row)
-	})
+	idx := NewIndex(cols)
+	r.AliveAt(tau, idx.Add)
 	return idx
 }
 
 // Probe returns the rows whose indexed columns equal the projection of
 // key onto those columns; key must have the full schema arity.
 func (idx *Index) Probe(key tuple.Tuple) []Row {
-	return idx.m[key.Project(idx.cols).Key()]
+	return idx.m[key.KeyCols(idx.cols)]
 }
 
 // ProbeProjected returns the rows for an already-projected key tuple.
 func (idx *Index) ProbeProjected(projected tuple.Tuple) []Row {
 	return idx.m[projected.Key()]
+}
+
+// ProbeKey returns the rows stored under an already-encoded key (a value
+// of Tuple.KeyCols over the index columns).
+func (idx *Index) ProbeKey(key string) []Row {
+	return idx.m[key]
 }
 
 // Sum of lifetimes helper: TotalRemainingLifetime returns Σ max(0,

@@ -134,7 +134,7 @@ func TestSnapshotIndependence(t *testing.T) {
 
 func TestRowsSortedDeterministic(t *testing.T) {
 	r := pol()
-	rows := r.Rows(0)
+	rows := r.RowsSorted(0)
 	if len(rows) != 3 {
 		t.Fatalf("len = %d", len(rows))
 	}

@@ -585,7 +585,9 @@ func (s *Session) orderAndLimit(st *Select, expr algebra.Expr, res *Result) erro
 		keys[i].col = idx
 		keys[i].desc = o.Desc
 	}
-	rows := res.Rel.Rows(res.At)
+	// RowsSorted gives a deterministic base order, so rows tied on every
+	// ORDER BY key still come out in a stable, reproducible order.
+	rows := res.Rel.RowsSorted(res.At)
 	sort.SliceStable(rows, func(i, j int) bool {
 		for _, k := range keys {
 			c := rows[i].Tuple[k.col].Compare(rows[j].Tuple[k.col])

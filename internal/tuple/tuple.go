@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"expdb/internal/value"
 )
@@ -100,10 +101,21 @@ func (t Tuple) Concat(o Tuple) Tuple {
 	return append(out, o...)
 }
 
+// keyBufPool recycles the scratch buffers Key and KeyCols encode into, so
+// the only allocation left on a key computation is the string itself.
+var keyBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // Key returns a self-delimiting binary set key for the tuple: two tuples
 // share a key exactly when they are Equal. Relations use it for duplicate
 // elimination and partitions use it for grouping.
-func (t Tuple) Key() string { return string(t.AppendKey(nil)) }
+func (t Tuple) Key() string {
+	bp := keyBufPool.Get().(*[]byte)
+	b := t.AppendKey((*bp)[:0])
+	s := string(b)
+	*bp = b
+	keyBufPool.Put(bp)
+	return s
+}
 
 // AppendKey appends the tuple's set key to dst.
 func (t Tuple) AppendKey(dst []byte) []byte {
@@ -111,6 +123,27 @@ func (t Tuple) AppendKey(dst []byte) []byte {
 		dst = v.AppendKey(dst)
 	}
 	return dst
+}
+
+// AppendKeyCols appends the set key of ⟨t(c) | c ∈ cols⟩ to dst — the key
+// Project(cols).AppendKey would produce, without building the projected
+// tuple.
+func (t Tuple) AppendKeyCols(dst []byte, cols []int) []byte {
+	for _, c := range cols {
+		dst = t[c].AppendKey(dst)
+	}
+	return dst
+}
+
+// KeyCols returns Project(cols).Key() without allocating the intermediate
+// tuple; hash joins and grouping use it on their probe hot paths.
+func (t Tuple) KeyCols(cols []int) string {
+	bp := keyBufPool.Get().(*[]byte)
+	b := t.AppendKeyCols((*bp)[:0], cols)
+	s := string(b)
+	*bp = b
+	keyBufPool.Put(bp)
+	return s
 }
 
 // String renders the tuple in the paper's angle-bracket style: ⟨1, 25⟩.

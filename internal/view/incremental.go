@@ -91,7 +91,7 @@ func (inc *Incremental) eval(e algebra.Expr, tau xtime.Time) (*nodeState, error)
 			return nil, err
 		}
 	}
-	mat, err := rebuilt.Eval(tau)
+	mat, err := algebra.EvalStream(rebuilt, tau)
 	if err != nil {
 		return nil, err
 	}

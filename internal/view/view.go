@@ -286,7 +286,7 @@ func (v *View) Expr() algebra.Expr { return v.expr }
 // Materialize (re)computes the view at time tau, refreshing texp(e), the
 // validity intervals and, if enabled, the patch queue.
 func (v *View) Materialize(tau xtime.Time) error {
-	mat, err := v.expr.Eval(tau)
+	mat, err := algebra.EvalStream(v.expr, tau)
 	if err != nil {
 		return err
 	}
@@ -425,10 +425,14 @@ func (v *View) read(tau xtime.Time) (*relation.Relation, ReadInfo, error) {
 	}
 	v.stats.Reads++
 	info := ReadInfo{At: tau, PatchesApplied: v.applyPatches(tau)}
+	// Every outcome serves a zero-copy shared snapshot: the caller gets an
+	// immutable O(1) view of the materialisation (lazy alive-at-τ filter);
+	// the first later mutation of the materialisation — a patch, a refresh
+	// — detaches it without disturbing escaped handles.
 	if v.valid(tau) {
 		v.stats.ServedFromMat++
 		info.Source = SourceMaterialised
-		return v.mat.Snapshot(tau), info, nil
+		return v.mat.SnapshotShared(tau), info, nil
 	}
 	switch v.recovery {
 	case RecoverReject:
@@ -437,13 +441,13 @@ func (v *View) read(tau xtime.Time) (*relation.Relation, ReadInfo, error) {
 		if at, ok := v.validity.PrevIn(tau); ok && at >= v.matAt {
 			v.stats.Moved++
 			info.Source, info.At = SourceMovedBackward, at
-			return v.mat.Snapshot(at), info, nil
+			return v.mat.SnapshotShared(at), info, nil
 		}
 	case RecoverForward:
 		if at, ok := v.validity.NextIn(tau); ok {
 			v.stats.Moved++
 			info.Source, info.At = SourceMovedForward, at
-			return v.mat.Snapshot(at), info, nil
+			return v.mat.SnapshotShared(at), info, nil
 		}
 	}
 	// RecoverRecompute, or a moved policy with nowhere to move: fall back
@@ -455,7 +459,7 @@ func (v *View) read(tau xtime.Time) (*relation.Relation, ReadInfo, error) {
 	v.recomputeNanos.Observe(time.Since(start).Nanoseconds())
 	v.stats.Recomputations++
 	info.Source = SourceRecomputed
-	return v.mat.Snapshot(tau), info, nil
+	return v.mat.SnapshotShared(tau), info, nil
 }
 
 // NeedsRecomputation reports whether a read at tau could not be served

@@ -488,5 +488,8 @@ func (c *Client) ReadContext(ctx context.Context, tau xtime.Time) (*relation.Rel
 			c.DegradedReads++
 		}
 	}
-	return c.mat.Snapshot(tau), nil
+	// Zero-copy: the caller gets a shared immutable snapshot of the local
+	// materialisation; later patches or rematerialisations detach from it
+	// (copy-on-write) instead of disturbing escaped handles.
+	return c.mat.SnapshotShared(tau), nil
 }

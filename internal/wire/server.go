@@ -474,7 +474,7 @@ func (s *Server) respond(req *Request) *Response {
 		for _, c := range rel.Schema().Cols {
 			resp.Cols = append(resp.Cols, WireColumn{Name: c.Name, Kind: c.Kind})
 		}
-		for _, row := range rel.Rows(now) {
+		for _, row := range rel.RowsSorted(now) {
 			wr := WireRow{Texp: row.Texp, Vals: make([]WireValue, len(row.Tuple))}
 			for i, v := range row.Tuple {
 				wr.Vals[i] = ToWire(v)
