@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"expdb/internal/bench"
@@ -44,13 +45,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "expbench:", err)
 			os.Exit(1)
 		}
-		f, err := os.Create(*jsonOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "expbench:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := bench.WriteRecords(f, records); err != nil {
+		if err := writeRecordsAtomic(*jsonOut, records); err != nil {
 			fmt.Fprintln(os.Stderr, "expbench:", err)
 			os.Exit(1)
 		}
@@ -65,4 +60,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "expbench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeRecordsAtomic writes the records to path via a same-directory
+// temp file, fsync and rename, so an interrupted run leaves either the
+// previous file or the complete new one — never a truncated mix — and a
+// write or close error is reported instead of silently dropped.
+func writeRecordsAtomic(path string, records []bench.Record) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err == nil {
+		err = bench.WriteRecords(f, records)
+	}
+	if serr := f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }

@@ -48,6 +48,7 @@ func main() {
 	maxMsg := flag.Int64("max-msg-bytes", 8<<20, "server: largest single wire message accepted")
 	drain := flag.Duration("drain", 5*time.Second, "server: how long shutdown waits for in-flight requests")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "client: per-round-trip deadline")
+	dataDir := flag.String("data-dir", "", "server: durable data directory (WAL + snapshots); state is recovered on boot and checkpointed on shutdown")
 	flag.Parse()
 
 	// One context for the whole process: SIGINT/SIGTERM cancels it and
@@ -57,7 +58,7 @@ func main() {
 
 	switch {
 	case *serve != "":
-		runServer(ctx, *serve, *metricsAddr, *ticks, serverOptions(*idleTimeout, *maxConns, *maxMsg, *drain))
+		runServer(ctx, *serve, *metricsAddr, *dataDir, *ticks, serverOptions(*idleTimeout, *maxConns, *maxMsg, *drain))
 	case *connect != "":
 		runClient(ctx, *connect, *query, *patches, *ticks, *reqTimeout)
 	default:
@@ -100,20 +101,44 @@ func serveMetrics(addr string, db *expdb.DB) *http.Server {
 	return srv
 }
 
-func runServer(ctx context.Context, addr, metricsAddr string, ticks int, opts []expdb.WireServerOption) {
-	db := expdb.OpenWithNotify(os.Stdout)
-	if _, err := db.ExecScript(`
-		CREATE TABLE pol (uid INT, deg INT);
-		CREATE TABLE el  (uid INT, deg INT);
-		INSERT INTO pol VALUES (1, 25) EXPIRES AT 10;
-		INSERT INTO pol VALUES (2, 25) EXPIRES AT 15;
-		INSERT INTO pol VALUES (3, 35) EXPIRES AT 10;
-		INSERT INTO el VALUES (1, 75) EXPIRES AT 5;
-		INSERT INTO el VALUES (2, 85) EXPIRES AT 3;
-		INSERT INTO el VALUES (4, 90) EXPIRES AT 2;
-	`); err != nil {
-		fmt.Fprintln(os.Stderr, "expsyncd:", err)
-		os.Exit(1)
+func runServer(ctx context.Context, addr, metricsAddr, dataDir string, ticks int, opts []expdb.WireServerOption) {
+	var db *expdb.DB
+	if dataDir != "" {
+		var err error
+		if db, err = expdb.OpenDurableWithNotify(dataDir, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "expsyncd: recover:", err)
+			os.Exit(1)
+		}
+		if info := db.RecoveryInfo(); info.Recovered {
+			fmt.Printf("recovered %s: clock %s, %d table(s), %d view(s), %d row(s), %d log record(s) replayed (snapshot gen %d)\n",
+				dataDir, info.Clock, info.Tables, info.Views, info.Rows, info.Records, info.SnapshotGen)
+			if info.Truncated {
+				fmt.Println("expsyncd: torn log tail truncated at last valid record")
+			}
+		}
+	} else {
+		db = expdb.OpenWithNotify(os.Stdout)
+	}
+	// Seed the Figure 1 example only on a fresh database — a recovered
+	// directory already holds its (possibly mutated) state.
+	if info := db.RecoveryInfo(); info == nil || !info.Recovered {
+		if _, err := db.ExecScript(`
+			CREATE TABLE pol (uid INT, deg INT);
+			CREATE TABLE el  (uid INT, deg INT);
+			INSERT INTO pol VALUES (1, 25) EXPIRES AT 10;
+			INSERT INTO pol VALUES (2, 25) EXPIRES AT 15;
+			INSERT INTO pol VALUES (3, 35) EXPIRES AT 10;
+			INSERT INTO el VALUES (1, 75) EXPIRES AT 5;
+			INSERT INTO el VALUES (2, 85) EXPIRES AT 3;
+			INSERT INTO el VALUES (4, 90) EXPIRES AT 2;
+		`); err != nil {
+			fmt.Fprintln(os.Stderr, "expsyncd:", err)
+			os.Exit(1)
+		}
+	} else if err := db.Advance(db.Now()); err != nil {
+		// Catch-up advance: expirations whose tick passed while the
+		// process was down fire now, in one batch, before serving.
+		fmt.Fprintln(os.Stderr, "expsyncd: catch-up advance:", err)
 	}
 	srv := db.NewWireServer(opts...)
 	bound, err := srv.Listen(addr)
@@ -126,6 +151,10 @@ func runServer(ctx context.Context, addr, metricsAddr string, ticks int, opts []
 		metricsSrv = serveMetrics(metricsAddr, db)
 	}
 	fmt.Printf("serving Figure 1 database on %s; advancing 1 tick/second for %d ticks\n", bound, ticks)
+	// A recovered clock resumes where it left off: ticks continue from
+	// there rather than restarting at 1 (which would be an advance
+	// backwards).
+	base := db.Now()
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
 loop:
@@ -138,16 +167,26 @@ loop:
 		}
 		// Advance failures are transient operator-visible conditions,
 		// not reasons to abandon connected view nodes.
-		if err := db.Advance(xtime.Time(t)); err != nil {
+		if err := db.Advance(base + xtime.Time(t)); err != nil {
 			fmt.Fprintln(os.Stderr, "expsyncd: advance:", err)
 			continue
 		}
-		fmt.Printf("tick %d (%s)\n", t, srv.Stats())
+		fmt.Printf("tick %d (%s)\n", int64(base)+int64(t), srv.Stats())
 	}
 	// Graceful teardown: drain wire connections (bounded by -drain via
 	// Close), then stop the metrics listener.
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "expsyncd: wire shutdown:", err)
+	}
+	if dataDir != "" {
+		// Checkpoint on shutdown so the next boot recovers from a fresh
+		// snapshot instead of replaying the whole log.
+		if err := db.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "expsyncd: checkpoint:", err)
+		}
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "expsyncd: close:", err)
+		}
 	}
 	if metricsSrv != nil {
 		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)

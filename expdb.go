@@ -123,6 +123,11 @@ type (
 	// WireMetricsSnapshot is the server's fault-tolerance counters:
 	// conns accepted/rejected, timeouts, panics recovered, reconnects.
 	WireMetricsSnapshot = wire.MetricsSnapshot
+	// RecoveryInfo reports what a durable open reconstructed from disk:
+	// restored clock, tables/views/rows, log records replayed, whether a
+	// torn log tail was truncated, and the trace ID the catch-up expiry
+	// batch will carry.
+	RecoveryInfo = engine.RecoveryInfo
 )
 
 // Wire client connectivity states (see WireClient.State).
@@ -236,6 +241,15 @@ func WithLazySweep(period Time) EngineOption { return engine.WithSweep(engine.Sw
 // wheel instead of a heap.
 func WithTimingWheel() EngineOption { return engine.WithScheduler(engine.SchedulerWheel) }
 
+// WithDurability makes the database durable: every mutation is logged to
+// a write-ahead log under dir before it is acknowledged, periodic
+// Checkpoint calls bound recovery time, and any state found in dir is
+// recovered at open — including expirations whose tick passed while the
+// process was down, which fire (exactly once, at their original texp) in
+// the first Advance after recovery. Prefer OpenDurable, which surfaces
+// recovery errors instead of panicking.
+func WithDurability(dir string) EngineOption { return engine.WithDurability(dir) }
+
 // WithSlowQueryThreshold enables the slow-query log: any statement whose
 // wall time reaches d has its full span tree recorded (SHOW TRACES,
 // DB.Traces, /debug/traces). Default off.
@@ -294,13 +308,67 @@ type DB struct {
 
 // Open creates an empty database at tick 0. Trigger NOTIFY output is
 // discarded; use OpenWithNotify to capture it.
+//
+// If opts include WithDurability, recovery runs here and a failure
+// panics; OpenDurable is the error-returning form.
 func Open(opts ...EngineOption) *DB { return OpenWithNotify(nil, opts...) }
 
 // OpenWithNotify is Open with a sink for trigger notifications.
 func OpenWithNotify(notify io.Writer, opts ...EngineOption) *DB {
-	eng := engine.New(opts...)
-	return &DB{eng: eng, sess: sql.NewSession(eng, notify)}
+	db, err := openDB(notify, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return db
 }
+
+// OpenDurable opens (or creates) a durable database whose state lives
+// under dir — shorthand for Open(WithDurability(dir), opts...) with
+// recovery errors returned instead of panicking. Use DB.RecoveryInfo to
+// see what was reconstructed, DB.Checkpoint to bound recovery time, and
+// DB.Close to flush the log on shutdown.
+func OpenDurable(dir string, opts ...EngineOption) (*DB, error) {
+	return OpenDurableWithNotify(dir, nil, opts...)
+}
+
+// OpenDurableWithNotify is OpenDurable with a sink for trigger
+// notifications.
+func OpenDurableWithNotify(dir string, notify io.Writer, opts ...EngineOption) (*DB, error) {
+	return openDB(notify, append(opts, engine.WithDurability(dir))...)
+}
+
+// openDB builds the engine + session pair and, when durability is
+// configured, runs recovery — passing the SQL session's Exec as the view
+// compiler, so logged CREATE VIEW statements recompile through the same
+// code path that first created them.
+func openDB(notify io.Writer, opts ...EngineOption) (*DB, error) {
+	eng := engine.New(opts...)
+	db := &DB{eng: eng, sess: sql.NewSession(eng, notify)}
+	if eng.DurabilityDir() != "" {
+		if _, err := eng.OpenDurability(func(def string) error {
+			_, err := db.sess.Exec(def)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Checkpoint writes a snapshot of the current state and truncates the
+// write-ahead log to it, bounding both disk usage and the next
+// recovery's replay work. Errors unless the database was opened with
+// durability.
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// RecoveryInfo reports what recovery reconstructed at open: nil for a
+// memory-only database, Recovered=false for a durable open of a fresh
+// directory.
+func (db *DB) RecoveryInfo() *RecoveryInfo { return db.eng.Recovery() }
+
+// Close flushes and closes the write-ahead log (a no-op for a
+// memory-only database). The database must not be used afterwards.
+func (db *DB) Close() error { return db.eng.CloseDurability() }
 
 // Exec runs one SQL statement.
 func (db *DB) Exec(q string) (*Result, error) { return db.sess.Exec(q) }

@@ -35,6 +35,8 @@ func TestAllExperimentsRun(t *testing.T) {
 		"unlimited (Theorem 3)",
 		"=== E11",
 		"per-operator",
+		"=== E12",
+		"durable (snapshot)",
 	}
 	for _, want := range checks {
 		if !strings.Contains(out, want) {

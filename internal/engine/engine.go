@@ -28,6 +28,7 @@ import (
 	"expdb/internal/trace"
 	"expdb/internal/tuple"
 	"expdb/internal/view"
+	"expdb/internal/wal"
 	"expdb/internal/wheel"
 	"expdb/internal/xtime"
 )
@@ -175,6 +176,21 @@ type Engine struct {
 	traces *trace.Store
 	// slowNanos is the slow-query threshold in nanoseconds (0 = off).
 	slowNanos atomic.Int64
+
+	// Durability state (see durability.go). walDir is set by
+	// WithDurability; log stays nil until OpenDurability succeeds, so a
+	// memory-only engine pays a nil check per mutation and nothing else.
+	// viewDefs maps view name → CREATE VIEW statement text (guarded by
+	// mu); recovering suppresses re-logging while the log is replayed.
+	walDir      string
+	log         *wal.Log
+	recovering  bool
+	compileView func(def string) error
+	viewDefs    map[string]string
+	recovery    *RecoveryInfo
+	// recoverTID is consumed by the first untraced Advance after
+	// recovery, so the catch-up expiry batch shares the recovery trace.
+	recoverTID trace.ID
 }
 
 // Option configures an Engine.
@@ -247,10 +263,83 @@ func (e *Engine) SchedulerLoad() (pending, stale int) {
 	return e.heap.Len(), e.stale
 }
 
-// CreateTable registers a new base relation.
+// CreateTable registers a new base relation. DDL is logged and applied
+// under e.mu (ordering e.mu → catalog.mu, see durability.go), so no
+// record of an operation on the table can precede the table's create
+// record in the WAL.
 func (e *Engine) CreateTable(name string, schema tuple.Schema) error {
+	e.mu.Lock()
 	_, err := e.cat.CreateTable(name, schema)
-	return err
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	seq, err := e.walAppend(&wal.Record{Kind: wal.KindCreateTable, Name: name, Schema: schema})
+	if err != nil {
+		e.cat.DropTable(name) // un-apply: the log is poisoned
+		e.mu.Unlock()
+		return err
+	}
+	e.mu.Unlock()
+	return e.walSync(seq)
+}
+
+// DropTable removes a base relation. Under eager sweeping, every queued
+// expiry event of the dropped table becomes stale and is accounted so
+// scheduler compaction can reclaim it.
+func (e *Engine) DropTable(name string) error {
+	rel, err := e.cat.Table(name)
+	if err != nil {
+		return err
+	}
+	// Hold the table's read lock across the drop so the count of queued
+	// events (one per finite-texp row) cannot drift between counting and
+	// dropping: writers on this table serialise behind it.
+	rel.RLock()
+	finite := 0
+	rel.All(func(row relation.Row) {
+		if row.Texp.IsFinite() {
+			finite++
+		}
+	})
+	e.mu.Lock()
+	if _, err := e.cat.Table(name); err != nil {
+		// Lost a race with a concurrent drop.
+		e.mu.Unlock()
+		rel.RUnlock()
+		return err
+	}
+	seq, err := e.walAppend(&wal.Record{Kind: wal.KindDropTable, Name: name})
+	if err != nil {
+		e.mu.Unlock()
+		rel.RUnlock()
+		return err
+	}
+	e.cat.DropTable(name)
+	if e.sweepMode == SweepEager {
+		e.stale += finite
+	}
+	e.mu.Unlock()
+	rel.RUnlock()
+	return e.walSync(seq)
+}
+
+// DropView removes a view from the catalog (and from the durable state).
+func (e *Engine) DropView(name string) error {
+	e.mu.Lock()
+	if _, err := e.cat.View(name); err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	seq, err := e.walAppend(&wal.Record{Kind: wal.KindDropView, Name: name})
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	e.cat.DropView(name)
+	delete(e.viewDefs, name)
+	e.mu.Unlock()
+	return e.walSync(seq)
 }
 
 // OnExpire registers fn to fire whenever a tuple of table expires.
@@ -291,12 +380,22 @@ func (e *Engine) insert(table string, t tuple.Tuple, texpAt func(xtime.Time) xti
 	}
 	key := t.Key()
 	rel.Lock()
-	defer rel.Unlock()
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	texp := texpAt(e.now)
 	if texp <= e.now && texp != xtime.Infinity {
-		return fmt.Errorf("engine: expiration time %v not after current tick %v", texp, e.now)
+		now := e.now
+		e.mu.Unlock()
+		rel.Unlock()
+		return fmt.Errorf("engine: expiration time %v not after current tick %v", texp, now)
+	}
+	// Log before apply. The WAL encoder copies the tuple's bytes during
+	// Append, so t may alias caller-owned (or pooled) memory that is
+	// reused the moment this call returns.
+	seq, err := e.walAppend(&wal.Record{Kind: wal.KindInsert, Name: table, Tuple: t, Texp: texp})
+	if err != nil {
+		e.mu.Unlock()
+		rel.Unlock()
+		return err
 	}
 	changed, prev, had := rel.InsertKeyed(key, t, texp)
 	e.m.Inserts.Inc()
@@ -309,7 +408,9 @@ func (e *Engine) insert(table string, t tuple.Tuple, texpAt func(xtime.Time) xti
 	}
 	// A no-change duplicate keeps its existing event; scheduling another
 	// would only grow the stale backlog.
-	return nil
+	e.mu.Unlock()
+	rel.Unlock()
+	return e.walSync(seq)
 }
 
 // Delete removes t from table immediately (an explicit delete, the
@@ -321,11 +422,18 @@ func (e *Engine) Delete(table string, t tuple.Tuple) (bool, error) {
 	}
 	key := t.Key()
 	rel.Lock()
-	defer rel.Unlock()
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	var seq uint64
 	row, ok := rel.RowByKey(key)
 	if ok {
+		// Log only deletes that remove something: a replayed no-op delete
+		// would be harmless, but skipping it keeps the log minimal.
+		seq, err = e.walAppend(&wal.Record{Kind: wal.KindDelete, Name: table, Key: key})
+		if err != nil {
+			e.mu.Unlock()
+			rel.Unlock()
+			return false, err
+		}
 		rel.DeleteKey(key)
 		e.m.Deletes.Inc()
 		if e.sweepMode == SweepEager && row.Texp != xtime.Infinity {
@@ -333,7 +441,9 @@ func (e *Engine) Delete(table string, t tuple.Tuple) (bool, error) {
 			e.stale++
 		}
 	}
-	return ok, nil
+	e.mu.Unlock()
+	rel.Unlock()
+	return ok, e.walSync(seq)
 }
 
 // schedule registers an eager expiry event for the tuple stored under key
@@ -435,12 +545,23 @@ func (e *Engine) Advance(to xtime.Time) error { return e.AdvanceTraced(to, 0) }
 // invalidations) are attributable to the statement that moved the clock.
 // A zero ID is replaced with a fresh one.
 func (e *Engine) AdvanceTraced(to xtime.Time, tid trace.ID) error {
-	if tid == 0 {
-		tid = trace.NextID()
-	}
 	e.advMu.Lock()
 	defer e.advMu.Unlock()
 	start := time.Now()
+
+	if tid == 0 {
+		// The first untraced advance after a recovery is the catch-up
+		// batch: it inherits the recovery trace ID, tying the expirations
+		// missed during downtime to the boot event that found them.
+		e.mu.Lock()
+		if e.recoverTID != 0 {
+			tid, e.recoverTID = e.recoverTID, 0
+		}
+		e.mu.Unlock()
+		if tid == 0 {
+			tid = trace.NextID()
+		}
+	}
 
 	e.maybeCompact(tid)
 	e.mu.Lock()
@@ -448,6 +569,11 @@ func (e *Engine) AdvanceTraced(to xtime.Time, tid trace.ID) error {
 		now := e.now
 		e.mu.Unlock()
 		return fmt.Errorf("engine: cannot advance backwards from %v to %v", now, to)
+	}
+	seq, err := e.walAppend(&wal.Record{Kind: wal.KindAdvance, Texp: to})
+	if err != nil {
+		e.mu.Unlock()
+		return err
 	}
 	var due []expiryEvent
 	var sweeps []xtime.Time
@@ -463,6 +589,15 @@ func (e *Engine) AdvanceTraced(to xtime.Time, tid trace.ID) error {
 	}
 	e.now = to
 	e.mu.Unlock()
+
+	// The advance record must be durable before any trigger observes the
+	// clock movement: replay then never re-fires a trigger that fired
+	// before a crash (a crash inside the dispatch window below degrades
+	// exactly-once to at-most-once; missed expirations fire in the first
+	// post-recovery advance).
+	if err := e.walSync(seq); err != nil {
+		return err
+	}
 
 	var events []firedEvent
 	if e.sweepMode == SweepEager {
@@ -596,14 +731,23 @@ func (e *Engine) sweepTables(tick xtime.Time, tid trace.ID) []firedEvent {
 // lastSweep: the periodic sweep grid stays anchored at multiples of
 // sweepEvery, so a manual off-grid sweep cannot shift every future
 // automatic sweep off the grid advanceLazy documents.
-func (e *Engine) Sweep() {
+func (e *Engine) Sweep() error {
 	e.advMu.Lock()
 	defer e.advMu.Unlock()
-	e.mu.RLock()
+	e.mu.Lock()
 	now := e.now
-	e.mu.RUnlock()
+	seq, err := e.walAppend(&wal.Record{Kind: wal.KindSweep, Texp: now})
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Durable before the removals' triggers can run, mirroring Advance.
+	if err := e.walSync(seq); err != nil {
+		return err
+	}
 	events := e.sweepTables(now, trace.NextID())
 	e.dispatch(events)
+	return nil
 }
 
 // dispatch runs triggers outside the engine and table locks, snapshotting
@@ -695,7 +839,18 @@ func (e *Engine) MaterializeExpr(expr algebra.Expr, wantHelper bool) (rel *relat
 }
 
 // CreateView registers and materialises a view at the current tick.
+// Views created through this programmatic API carry no SQL definition
+// and are therefore NOT durable — they vanish on recovery. SQL-created
+// views go through CreateViewDef, which logs the statement text.
 func (e *Engine) CreateView(name string, expr algebra.Expr, opts ...view.Option) (*view.View, error) {
+	return e.CreateViewDef(name, "", expr, opts...)
+}
+
+// CreateViewDef is CreateView with the CREATE VIEW statement text that
+// reproduces the view. A non-empty def is logged to the WAL (and carried
+// into snapshots), so recovery can recompile the view through the SQL
+// layer; an empty def makes the view memory-only.
+func (e *Engine) CreateViewDef(name, def string, expr algebra.Expr, opts ...view.Option) (*view.View, error) {
 	v, err := view.New(name, expr, opts...)
 	if err != nil {
 		return nil, err
@@ -712,10 +867,27 @@ func (e *Engine) CreateView(name string, expr algebra.Expr, opts ...view.Option)
 	if err := e.cat.RegisterView(v); err != nil {
 		return nil, err
 	}
+	var seq uint64
+	if def != "" {
+		e.mu.Lock()
+		if e.viewDefs == nil {
+			e.viewDefs = make(map[string]string)
+		}
+		e.viewDefs[name] = def
+		seq, err = e.walAppend(&wal.Record{Kind: wal.KindCreateView, Name: name, Def: def})
+		e.mu.Unlock()
+		if err != nil {
+			e.cat.DropView(name) // un-apply: the log is poisoned
+			return nil, err
+		}
+	}
 	e.events.Emit(trace.Event{
 		Trace: trace.NextID(), Kind: trace.EvViewRecompute, Name: name,
 		Tick: now, Texp: v.Texp(),
 	})
+	if err := e.walSync(seq); err != nil {
+		return nil, err
+	}
 	return v, nil
 }
 

@@ -27,6 +27,9 @@ type Metrics struct {
 	// TriggerLagTicks is Σ (fire tick − expiration tick); non-zero only
 	// under lazy sweeping, where it measures the §3.2 latency trade-off.
 	TriggerLagTicks metrics.Counter
+	// Checkpoints counts completed durability checkpoints (snapshot
+	// written, older log generations removed).
+	Checkpoints metrics.Counter
 	// AdvanceNanos is the wall-clock latency distribution of Advance calls
 	// — the engine heartbeat the paper wants at hardware speed.
 	AdvanceNanos metrics.Histogram
@@ -74,6 +77,7 @@ type MetricsSnapshot struct {
 	Advances        int64                     `json:"advances"`
 	StaleDropped    int64                     `json:"stale_dropped"`
 	TriggerLagTicks int64                     `json:"trigger_lag_ticks"`
+	Checkpoints     int64                     `json:"checkpoints,omitempty"`
 	AdvanceNanos    metrics.HistogramSnapshot `json:"advance_nanos"`
 	ExpiryBatch     metrics.HistogramSnapshot `json:"expiry_batch_size"`
 	Scheduler       SchedulerMetrics          `json:"scheduler"`
@@ -95,6 +99,7 @@ func (e *Engine) Metrics() MetricsSnapshot {
 		Advances:        e.m.Advances.Load(),
 		StaleDropped:    e.m.StaleDropped.Load(),
 		TriggerLagTicks: e.m.TriggerLagTicks.Load(),
+		Checkpoints:     e.m.Checkpoints.Load(),
 		AdvanceNanos:    e.m.AdvanceNanos.Snapshot(),
 		ExpiryBatch:     e.m.ExpiryBatch.Snapshot(),
 	}

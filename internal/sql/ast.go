@@ -161,6 +161,9 @@ type CreateView struct {
 	Name    string
 	Options []string // e.g. "patching", "mode=interval", "recovery=backward"
 	Query   *Select
+	// Src is the statement's verbatim source text, stamped by the parser.
+	// The engine logs it to the WAL so recovery can recompile the view.
+	Src string
 }
 
 func (*CreateView) stmt() {}

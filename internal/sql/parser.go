@@ -16,10 +16,12 @@ func Parse(input string) (Statement, error) {
 		return nil, err
 	}
 	p := &parser{toks: toks}
+	start := p.peek().pos
 	stmt, err := p.statement()
 	if err != nil {
 		return nil, err
 	}
+	stampSrc(stmt, input, start, p.peek().pos)
 	p.accept(tokSymbol, ";")
 	if !p.at(tokEOF, "") {
 		return nil, fmt.Errorf("sql: trailing input starting at %s", p.peek())
@@ -41,14 +43,28 @@ func ParseScript(input string) ([]Statement, error) {
 		if p.at(tokEOF, "") {
 			return stmts, nil
 		}
+		start := p.peek().pos
 		s, err := p.statement()
 		if err != nil {
 			return nil, err
 		}
+		stampSrc(s, input, start, p.peek().pos)
 		stmts = append(stmts, s)
 		if !p.accept(tokSymbol, ";") && !p.at(tokEOF, "") {
 			return nil, fmt.Errorf("sql: expected ';' between statements, got %s", p.peek())
 		}
+	}
+}
+
+// stampSrc records a statement's verbatim source text on the node kinds
+// that persist it (CREATE VIEW is logged to the WAL so recovery can
+// recompile the view). start/end are byte offsets: the first token's
+// position and the position of the token after the statement (";" or
+// EOF — string-literal tokens carry their end offset, but a statement
+// never ends the input with one of those unclosed).
+func stampSrc(stmt Statement, input string, start, end int) {
+	if cv, ok := stmt.(*CreateView); ok {
+		cv.Src = strings.TrimSpace(input[start:end])
 	}
 }
 

@@ -191,7 +191,7 @@ func (s *Session) execStmt(stmt Statement) (*Result, error) {
 		return &Result{Msg: fmt.Sprintf("table %s created", st.Name), At: s.eng.Now()}, nil
 
 	case *DropTable:
-		if err := s.eng.Catalog().DropTable(st.Name); err != nil {
+		if err := s.eng.DropTable(st.Name); err != nil {
 			return nil, err
 		}
 		return &Result{Msg: fmt.Sprintf("table %s dropped", st.Name), At: s.eng.Now()}, nil
@@ -381,7 +381,7 @@ func (s *Session) execCreateView(st *CreateView) (*Result, error) {
 			return nil, fmt.Errorf("sql: unknown view option %q", opt)
 		}
 	}
-	v, err := s.eng.CreateView(st.Name, expr, opts...)
+	v, err := s.eng.CreateViewDef(st.Name, st.Src, expr, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -59,6 +59,13 @@ const (
 	// EvWireShutdown: the wire server completed a graceful shutdown
 	// (Count carries the number of stragglers hard-closed).
 	EvWireShutdown
+	// EvRecovery: the engine rebuilt its state from the write-ahead log
+	// at boot (Count carries the number of log records replayed; the
+	// first Advance after it — the catch-up batch — shares its trace ID).
+	EvRecovery
+	// EvCheckpoint: a durability checkpoint wrote a snapshot and
+	// truncated the log (Count carries the number of tables captured).
+	EvCheckpoint
 )
 
 var eventKindNames = [...]string{
@@ -78,6 +85,8 @@ var eventKindNames = [...]string{
 	EvWirePanic:       "wire-panic",
 	EvWireReject:      "wire-reject",
 	EvWireShutdown:    "wire-shutdown",
+	EvRecovery:        "recovery",
+	EvCheckpoint:      "checkpoint",
 }
 
 // String names the kind.

@@ -1,0 +1,370 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Log is an append-only write-ahead log over a directory of segments.
+//
+// Appends are cheap: the framed record is encoded into an in-memory
+// buffer under a short mutex hold (the encoding copies everything, so
+// callers may reuse their tuples and key buffers the moment Append
+// returns). Durability is a separate step: Sync(seq) returns once a disk
+// fsync covers the sequence number — and one fsync covers every append
+// buffered before it, so concurrent writers waiting on Sync form a group
+// commit automatically: while one flusher holds the sync mutex, later
+// appends pile into the buffer and the next flusher pays a single fsync
+// for all of them.
+//
+// Errors are sticky: once a write or fsync fails, every subsequent
+// Append/Sync returns the same error, so a durability failure can never
+// silently degrade into memory-only operation.
+type Log struct {
+	dir string
+
+	// mu guards the append state: the pending buffer, the sequence
+	// counter, the active file handle and the sticky error. It is a leaf
+	// lock, held only for in-memory encoding.
+	mu   sync.Mutex
+	buf  []byte
+	seq  uint64 // last appended sequence number
+	gen  uint64 // active segment generation
+	f    *os.File
+	err  error
+	size int64 // bytes durably written to the active segment
+
+	// syncMu serialises flushers; the wait for it is the group-commit
+	// batching point. durable is the highest sequence number covered by a
+	// completed fsync (atomic so the Sync fast path takes no lock).
+	syncMu  sync.Mutex
+	durable atomic.Uint64
+	spare   []byte // recycled flush buffer
+}
+
+func segmentName(gen uint64) string  { return fmt.Sprintf("wal-%08d.log", gen) }
+func snapshotName(gen uint64) string { return fmt.Sprintf("snap-%08d.snap", gen) }
+
+// SnapshotPath returns the path of the snapshot file for generation gen
+// inside a log directory — the name WriteSnapshot must be given for
+// recovery to find it.
+func SnapshotPath(dir string, gen uint64) string {
+	return filepath.Join(dir, snapshotName(gen))
+}
+
+// parseGen extracts the generation from a "prefix-NNNNNNNN.ext" name.
+func parseGen(name, prefix, ext string) (uint64, bool) {
+	var gen uint64
+	var rest string
+	if n, err := fmt.Sscanf(name, prefix+"-%d%s", &gen, &rest); err != nil || n != 2 || rest != ext {
+		return 0, false
+	}
+	return gen, true
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Gen returns the active segment generation.
+func (l *Log) Gen() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
+}
+
+// Seq returns the last appended sequence number.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Append encodes rec into the pending buffer and returns its sequence
+// number. The record is fully copied during the call; it is durable only
+// once Sync covers the returned sequence number. Callers that need a
+// global order against other writers must serialise their Append calls
+// themselves (the engine appends under its own mutex, which makes WAL
+// order match apply order).
+func (l *Log) Append(rec *Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	l.buf = appendRecord(l.buf, rec)
+	l.seq++
+	return l.seq, nil
+}
+
+// Sync blocks until a completed fsync covers seq, flushing the pending
+// buffer if it must. A seq of 0 (no record appended) returns nil
+// immediately unless the log is poisoned.
+func (l *Log) Sync(seq uint64) error {
+	if l.durable.Load() >= seq {
+		// Already durable; still surface a sticky error so callers that
+		// lost a previous flush race see it.
+		l.mu.Lock()
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.durable.Load() >= seq {
+		return nil
+	}
+	return l.flushLocked()
+}
+
+// flushLocked writes and fsyncs the pending buffer. Callers hold syncMu.
+func (l *Log) flushLocked() error {
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	buf := l.buf
+	l.buf = l.spare[:0]
+	l.spare = nil
+	hw := l.seq
+	f := l.f
+	l.mu.Unlock()
+
+	var err error
+	if len(buf) > 0 {
+		if _, werr := f.Write(buf); werr != nil {
+			err = werr
+		} else if serr := f.Sync(); serr != nil {
+			err = serr
+		}
+	}
+	l.mu.Lock()
+	if err != nil {
+		l.err = fmt.Errorf("wal: flush segment %s: %w", segmentName(l.gen), err)
+		err = l.err
+	} else {
+		l.size += int64(len(buf))
+		l.spare = buf[:0]
+	}
+	l.mu.Unlock()
+	if err == nil {
+		l.durable.Store(hw)
+	}
+	return err
+}
+
+// Rotate flushes and fsyncs the active segment, then starts a fresh one
+// with the next generation, returning the new generation. The caller
+// must guarantee no concurrent Append (the engine rotates while holding
+// every mutation lock).
+func (l *Log) Rotate() (uint64, error) {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if err := l.flushLocked(); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Close(); err != nil {
+		l.err = fmt.Errorf("wal: close segment %s: %w", segmentName(l.gen), err)
+		return 0, l.err
+	}
+	gen := l.gen + 1
+	f, err := createSegment(l.dir, gen)
+	if err != nil {
+		l.err = err
+		return 0, err
+	}
+	l.gen, l.f, l.size = gen, f, 0
+	return gen, nil
+}
+
+// Close flushes, fsyncs and closes the active segment. The log is
+// unusable afterwards.
+func (l *Log) Close() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	err := l.flushLocked()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if l.err == nil {
+		l.err = fmt.Errorf("wal: log closed")
+	}
+	return err
+}
+
+// RemoveBelow deletes segments and snapshots with generation < gen —
+// they are fully covered by the snapshot at gen. Called after a
+// checkpoint's snapshot is durable.
+func (l *Log) RemoveBelow(gen uint64) error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		var g uint64
+		var ok bool
+		if g, ok = parseGen(e.Name(), "wal", ".log"); !ok {
+			if g, ok = parseGen(e.Name(), "snap", ".snap"); !ok {
+				continue
+			}
+		}
+		if g < gen {
+			if err := os.Remove(filepath.Join(l.dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return syncDir(l.dir)
+}
+
+func createSegment(dir string, gen uint64) (*os.File, error) {
+	path := filepath.Join(dir, segmentName(gen))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create segment: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// Recovered is what Open found on disk: the best snapshot (nil when none
+// is complete) and the segments to replay on top of it.
+type Recovered struct {
+	// Snapshot is the highest complete snapshot, or nil.
+	Snapshot *Snapshot
+	// SnapshotGen is the snapshot's generation (0 when Snapshot is nil).
+	SnapshotGen uint64
+	dir         string
+	segments    []uint64 // generations to replay, ascending
+}
+
+// ReplayStats summarises one Replay pass.
+type ReplayStats struct {
+	// Records is the number of valid records applied.
+	Records int
+	// Truncated reports that a torn or corrupt tail was found and cut
+	// back to the last valid record.
+	Truncated bool
+	// TruncatedSegment / TruncatedAt locate the cut (when Truncated).
+	TruncatedSegment uint64
+	TruncatedAt      int64
+}
+
+// Replay streams the recovered records, oldest first, through apply. On
+// the first torn or corrupt record it truncates that segment to the last
+// valid offset, skips any later segments (they postdate the tear and
+// must not be applied out of order), and reports the cut in the stats.
+// An error from apply aborts the replay.
+func (r *Recovered) Replay(apply func(*Record) error) (ReplayStats, error) {
+	var stats ReplayStats
+	for _, gen := range r.segments {
+		path := filepath.Join(r.dir, segmentName(gen))
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return stats, fmt.Errorf("wal: read segment: %w", err)
+		}
+		off := 0
+		for off < len(buf) {
+			rec, next, err := readRecord(buf, off)
+			if err != nil {
+				// Stop at the last valid record and make the cut
+				// physical, so the next boot does not re-diagnose it.
+				if terr := os.Truncate(path, int64(off)); terr != nil {
+					return stats, fmt.Errorf("wal: truncate torn tail: %w", terr)
+				}
+				stats.Truncated = true
+				stats.TruncatedSegment = gen
+				stats.TruncatedAt = int64(off)
+				return stats, nil
+			}
+			if err := apply(&rec); err != nil {
+				return stats, fmt.Errorf("wal: replay %s record: %w", rec.Kind, err)
+			}
+			stats.Records++
+			off = next
+		}
+	}
+	return stats, nil
+}
+
+// Open prepares a log directory for recovery and appending: it scans dir
+// (creating it if needed), selects the highest complete snapshot plus
+// the segments to replay after it, and opens a fresh segment for new
+// appends. The caller replays Recovered first, then appends; records are
+// never added to an old segment, so a recovery-time truncation can never
+// sit in the middle of a live file.
+func Open(dir string) (*Log, *Recovered, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: open dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open dir: %w", err)
+	}
+	var segGens, snapGens []uint64
+	for _, e := range entries {
+		if g, ok := parseGen(e.Name(), "wal", ".log"); ok {
+			segGens = append(segGens, g)
+		}
+		if g, ok := parseGen(e.Name(), "snap", ".snap"); ok {
+			snapGens = append(snapGens, g)
+		}
+	}
+	sort.Slice(segGens, func(i, j int) bool { return segGens[i] < segGens[j] })
+	sort.Slice(snapGens, func(i, j int) bool { return snapGens[i] > snapGens[j] })
+
+	rec := &Recovered{dir: dir}
+	for _, g := range snapGens {
+		snap, err := ReadSnapshot(filepath.Join(dir, snapshotName(g)))
+		if err != nil {
+			// Incomplete or corrupt (crash mid-checkpoint): fall back to
+			// the previous generation, whose covering segments still
+			// exist — they are only deleted after a newer snapshot is
+			// durable.
+			continue
+		}
+		rec.Snapshot, rec.SnapshotGen = snap, g
+		break
+	}
+	maxGen := rec.SnapshotGen
+	for _, g := range segGens {
+		if g >= rec.SnapshotGen {
+			rec.segments = append(rec.segments, g)
+		}
+		if g > maxGen {
+			maxGen = g
+		}
+	}
+
+	l := &Log{dir: dir, gen: maxGen + 1}
+	if l.f, err = createSegment(dir, l.gen); err != nil {
+		return nil, nil, err
+	}
+	return l, rec, nil
+}

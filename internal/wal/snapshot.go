@@ -1,0 +1,172 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"expdb/internal/tuple"
+	"expdb/internal/xtime"
+)
+
+// Snapshot is a decoded point-in-time image of the durable state: the
+// logical clock, the lazy sweeper's position, every table with per-row
+// texp, and every view definition. The expiration schedule is absent on
+// purpose — recovery re-derives it from the stored texp values.
+type Snapshot struct {
+	Clock     xtime.Time
+	LastSweep xtime.Time
+	Tables    []SnapshotTable
+	Views     []SnapshotView
+}
+
+// SnapshotTable is one table image.
+type SnapshotTable struct {
+	Name   string
+	Schema tuple.Schema
+	Rows   []SnapshotRow
+}
+
+// SnapshotRow is one stored row with its expiration time.
+type SnapshotRow struct {
+	Tuple tuple.Tuple
+	Texp  xtime.Time
+}
+
+// SnapshotView is one view definition, kept as the full SQL statement
+// text so recovery can recompile it through the SQL layer.
+type SnapshotView struct {
+	Name string
+	Def  string
+}
+
+// Records counts the body records (everything between header and
+// footer) — the value the footer carries.
+func (s *Snapshot) Records() uint64 {
+	n := uint64(len(s.Views))
+	for _, t := range s.Tables {
+		n += 1 + uint64(len(t.Rows))
+	}
+	return n
+}
+
+// WriteSnapshot atomically writes snap to path: encode into a temp file
+// in the same directory, fsync, rename over path, fsync the directory.
+// A crash at any point leaves either the old file or the complete new
+// one — never a torn snapshot under the final name (and if the temp file
+// survives a crash it fails footer validation and is ignored).
+func WriteSnapshot(path string, snap *Snapshot) error {
+	var buf []byte
+	rec := Record{Kind: KindSnapHeader, Texp: snap.Clock, Aux: snap.LastSweep}
+	buf = appendRecord(buf, &rec)
+	for _, t := range snap.Tables {
+		rec = Record{Kind: KindSnapTable, Name: t.Name, Schema: t.Schema}
+		buf = appendRecord(buf, &rec)
+		for _, r := range t.Rows {
+			rec = Record{Kind: KindSnapRow, Tuple: r.Tuple, Texp: r.Texp}
+			buf = appendRecord(buf, &rec)
+		}
+	}
+	for _, v := range snap.Views {
+		rec = Record{Kind: KindSnapView, Name: v.Name, Def: v.Def}
+		buf = appendRecord(buf, &rec)
+	}
+	rec = Record{Kind: KindSnapFooter, Count: snap.Records()}
+	buf = appendRecord(buf, &rec)
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: fsync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: publish snapshot: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// ReadSnapshot loads and validates a snapshot file. Any defect — bad
+// framing, wrong record order, a missing footer, or a footer whose count
+// disagrees with the body — returns an error; recovery then falls back
+// to an older generation.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		snap  Snapshot
+		off   int
+		body  uint64
+		open  bool // header seen
+		done  bool // footer seen
+		table *SnapshotTable
+	)
+	for off < len(buf) {
+		rec, next, err := readRecord(buf, off)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return nil, fmt.Errorf("%w: snapshot record after footer", ErrCorrupt)
+		}
+		switch rec.Kind {
+		case KindSnapHeader:
+			if open {
+				return nil, fmt.Errorf("%w: duplicate snapshot header", ErrCorrupt)
+			}
+			open = true
+			snap.Clock, snap.LastSweep = rec.Texp, rec.Aux
+		case KindSnapTable:
+			if !open {
+				return nil, fmt.Errorf("%w: snapshot table before header", ErrCorrupt)
+			}
+			snap.Tables = append(snap.Tables, SnapshotTable{Name: rec.Name, Schema: rec.Schema})
+			table = &snap.Tables[len(snap.Tables)-1]
+			body++
+		case KindSnapRow:
+			if table == nil {
+				return nil, fmt.Errorf("%w: snapshot row outside a table", ErrCorrupt)
+			}
+			table.Rows = append(table.Rows, SnapshotRow{Tuple: rec.Tuple, Texp: rec.Texp})
+			body++
+		case KindSnapView:
+			if !open {
+				return nil, fmt.Errorf("%w: snapshot view before header", ErrCorrupt)
+			}
+			snap.Views = append(snap.Views, SnapshotView{Name: rec.Name, Def: rec.Def})
+			body++
+		case KindSnapFooter:
+			if !open {
+				return nil, fmt.Errorf("%w: snapshot footer before header", ErrCorrupt)
+			}
+			if rec.Count != body {
+				return nil, fmt.Errorf("%w: snapshot footer count %d, body has %d records",
+					ErrCorrupt, rec.Count, body)
+			}
+			done = true
+		default:
+			return nil, fmt.Errorf("%w: %s record inside a snapshot", ErrCorrupt, rec.Kind)
+		}
+		off = next
+	}
+	if !done {
+		return nil, fmt.Errorf("%w: snapshot missing footer (torn write)", ErrCorrupt)
+	}
+	return &snap, nil
+}
