@@ -120,6 +120,11 @@ var (
 	PushDownSelections = ialg.PushDownSelections
 	// Walk visits an expression tree depth-first.
 	Walk = ialg.Walk
+	// Window stamps an evaluation instant with its validity interval
+	// [τ, texp(e)): the half-open window during which a result computed
+	// at τ remains correct (Theorem 1 / Table 2). The same stamp rides
+	// on every expdb read surface as expdb.Validity.
+	Window = ialg.Window
 	// IsMonotonic re-derives monotonicity structurally.
 	IsMonotonic = ialg.IsMonotonic
 	// EvalStream computes an expression through the pipelined streaming

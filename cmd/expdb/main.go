@@ -149,12 +149,12 @@ func printResult(db *expdb.DB, res *expdb.Result) {
 	if res.Msg != "" {
 		fmt.Println(res.Msg)
 	}
-	if res.Rows != nil {
+	if rows, ok := res.Ordered(); ok {
 		fmt.Println("texp | (ordered)")
-		for _, row := range res.Rows {
+		for _, row := range rows {
 			fmt.Printf("%4s | %s\n", row.Texp, row.Tuple)
 		}
-		fmt.Printf("(%d row(s) at time %s)\n", len(res.Rows), res.At)
+		fmt.Printf("(%d row(s) at time %s)\n", len(rows), res.At)
 		return
 	}
 	if res.Rel != nil {

@@ -49,6 +49,7 @@ func main() {
 	drain := flag.Duration("drain", 5*time.Second, "server: how long shutdown waits for in-flight requests")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "client: per-round-trip deadline")
 	dataDir := flag.String("data-dir", "", "server: durable data directory (WAL + snapshots); state is recovered on boot and checkpointed on shutdown")
+	cacheSize := flag.Int("result-cache", expdb.DefaultResultCacheSize, "server: validity-interval result cache capacity (0 disables); hit/miss counters surface under result_cache on /metrics")
 	flag.Parse()
 
 	// One context for the whole process: SIGINT/SIGTERM cancels it and
@@ -58,7 +59,7 @@ func main() {
 
 	switch {
 	case *serve != "":
-		runServer(ctx, *serve, *metricsAddr, *dataDir, *ticks, serverOptions(*idleTimeout, *maxConns, *maxMsg, *drain))
+		runServer(ctx, *serve, *metricsAddr, *dataDir, *ticks, *cacheSize, serverOptions(*idleTimeout, *maxConns, *maxMsg, *drain))
 	case *connect != "":
 		runClient(ctx, *connect, *query, *patches, *ticks, *reqTimeout)
 	default:
@@ -101,7 +102,7 @@ func serveMetrics(addr string, db *expdb.DB) *http.Server {
 	return srv
 }
 
-func runServer(ctx context.Context, addr, metricsAddr, dataDir string, ticks int, opts []expdb.WireServerOption) {
+func runServer(ctx context.Context, addr, metricsAddr, dataDir string, ticks, cacheSize int, opts []expdb.WireServerOption) {
 	var db *expdb.DB
 	if dataDir != "" {
 		var err error
@@ -119,6 +120,9 @@ func runServer(ctx context.Context, addr, metricsAddr, dataDir string, ticks int
 	} else {
 		db = expdb.OpenWithNotify(os.Stdout)
 	}
+	// Size (or disable) the validity-interval result cache before any
+	// traffic arrives; recovery always boots it cold regardless.
+	db.SetResultCache(cacheSize)
 	// Seed the Figure 1 example only on a fresh database — a recovered
 	// directory already holds its (possibly mutated) state.
 	if info := db.RecoveryInfo(); info == nil || !info.Recovered {

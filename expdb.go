@@ -26,6 +26,7 @@
 package expdb
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -84,6 +85,15 @@ type (
 	TriggerFunc = engine.TriggerFunc
 	// IntervalSet is a Schrödinger validity set (§3.3–3.4 of the paper).
 	IntervalSet = interval.Set
+	// Validity is the uniform result stamp [At, ValidUntil): the answer
+	// was computed at At and stays correct at every instant before
+	// ValidUntil = texp(e). Result, ReadInfo and the wire client all
+	// carry it, so every read surface shares one freshness currency.
+	Validity = interval.Validity
+	// CacheMetrics is the validity-interval result cache's snapshot:
+	// hit/miss/invalidation/eviction counters, entry count and the
+	// hit-latency histogram.
+	CacheMetrics = engine.ResultCacheMetrics
 	// MetricsSnapshot is a point-in-time copy of the engine's observability
 	// counters, histograms and per-view maintenance split (JSON-ready).
 	MetricsSnapshot = engine.MetricsSnapshot
@@ -163,6 +173,10 @@ var (
 	// ErrInvalidRead: a view with recovery=reject was read outside its
 	// validity interval.
 	ErrInvalidRead = engine.ErrInvalidRead
+	// ErrCacheDisabled: a cache-specific operation (SHOW CACHE,
+	// DB.CacheMetrics) ran while the result cache is off
+	// (WithResultCache(0) / SetResultCache(0)).
+	ErrCacheDisabled = engine.ErrCacheDisabled
 	// ErrWireProtocol: the remote peer is not an expdb wire endpoint or
 	// speaks an incompatible version (detected at handshake).
 	ErrWireProtocol = wire.ErrProtocol
@@ -261,6 +275,17 @@ func WithSlowQueryThreshold(d time.Duration) EngineOption {
 // engine.DefaultEventLogCapacity entries; oldest events are dropped and
 // counted once it fills).
 func WithEventLogCapacity(n int) EngineOption { return engine.WithEventLogCapacity(n) }
+
+// DefaultResultCacheSize is the result cache's capacity when no
+// WithResultCache option is given.
+const DefaultResultCacheSize = engine.DefaultResultCacheSize
+
+// WithResultCache sizes the validity-interval result cache in entries
+// (default DefaultResultCacheSize); size <= 0 disables caching.
+// The cache serves a repeated query with zero re-evaluation while
+// now < ValidUntil and no base table it reads has been written — see
+// Result.Validity and Result.Cached.
+func WithResultCache(size int) EngineOption { return engine.WithResultCache(size) }
 
 // Wire server options (see internal/wire for defaults).
 
@@ -370,8 +395,35 @@ func (db *DB) RecoveryInfo() *RecoveryInfo { return db.eng.Recovery() }
 // memory-only database). The database must not be used afterwards.
 func (db *DB) Close() error { return db.eng.CloseDurability() }
 
-// Exec runs one SQL statement.
-func (db *DB) Exec(q string) (*Result, error) { return db.sess.Exec(q) }
+// Query runs one SQL statement and returns its Result, stamped with the
+// validity window [Validity.At, Validity.ValidUntil) the engine derived
+// for it and with Cached reporting whether the answer came from the
+// result cache with zero re-evaluation. Query is the documented entry
+// point for the SQL surface; Exec is a long-standing alias. Rows come
+// out of Result.Rows() (presentation order under ORDER BY/LIMIT,
+// deterministic set order otherwise).
+func (db *DB) Query(q string) (*Result, error) { return db.sess.Exec(q) }
+
+// QueryContext is Query honouring ctx at the statement boundary. A
+// statement runs against in-memory state and is not interruptible
+// mid-flight; ctx is checked before parsing and its error returned, the
+// same delegation pattern the wire client's *Context methods use.
+func (db *DB) QueryContext(ctx context.Context, q string) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return db.sess.Exec(q)
+}
+
+// Exec runs one SQL statement. It is an alias of Query, kept because
+// every release so far spelled the entry point this way.
+func (db *DB) Exec(q string) (*Result, error) { return db.Query(q) }
+
+// ExecContext is Exec honouring ctx at the statement boundary (an alias
+// of QueryContext).
+func (db *DB) ExecContext(ctx context.Context, q string) (*Result, error) {
+	return db.QueryContext(ctx, q)
+}
 
 // ExecScript runs a semicolon-separated script, returning the last
 // result.
@@ -430,9 +482,23 @@ func (db *DB) ReadView(name string) (*Relation, ReadInfo, error) {
 	return db.eng.ReadView(name)
 }
 
+// ReadViewContext is ReadView honouring ctx at the read boundary: ctx is
+// checked before the read starts and its error returned, matching the
+// wire client's *Context delegation (an in-memory view read is not
+// interruptible mid-flight).
+func (db *DB) ReadViewContext(ctx context.Context, name string) (*Relation, ReadInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ReadInfo{}, err
+	}
+	return db.eng.ReadView(name)
+}
+
 // ReadViewRows is a convenience shim over ReadView for callers that only
-// want the visible rows: the view's answer at the instant the read was
-// (possibly moved and) served.
+// want the visible rows.
+//
+// Deprecated: query the view instead — db.Query("SELECT * FROM v") —
+// and read Result.Rows(); that path carries the validity window and the
+// Cached flag this shim discards. Kept for compatibility.
 func (db *DB) ReadViewRows(name string) ([]Row, error) {
 	rel, info, err := db.eng.ReadView(name)
 	if err != nil {
@@ -462,6 +528,15 @@ func (db *DB) Metrics() MetricsSnapshot { return db.eng.Metrics() }
 
 // SQLMetrics returns the SQL session's statement and latency counters.
 func (db *DB) SQLMetrics() SQLMetricsSnapshot { return db.sess.Metrics().Snapshot() }
+
+// CacheMetrics returns the result cache's counters and hit-latency
+// histogram, or ErrCacheDisabled (wrapped) when the cache is off. The
+// same block rides inside Metrics().ResultCache when enabled.
+func (db *DB) CacheMetrics() (CacheMetrics, error) { return db.eng.ResultCacheStats() }
+
+// SetResultCache resizes the result cache at runtime; size <= 0 disables
+// it. The previous cache's entries and counters are discarded.
+func (db *DB) SetResultCache(size int) { db.eng.SetResultCache(size) }
 
 // MetricsHandler serves the combined engine + SQL snapshot as
 // expvar-style JSON — mount it on any mux (expsyncd -metrics does).

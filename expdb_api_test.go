@@ -5,6 +5,7 @@ package expdb_test
 // the build here before it breaks a downstream user.
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"strings"
@@ -93,8 +94,8 @@ func TestAPIExecAndPlan(t *testing.T) {
 		t.Fatalf("res=%+v err=%v", res, err)
 	}
 	res = db.MustExec(`SELECT uid FROM pol ORDER BY uid DESC LIMIT 2`)
-	if len(res.Rows) != 2 || res.Msg != "" {
-		t.Fatalf("ordered rows = %+v", res.Rows)
+	if len(res.Rows()) != 2 || res.Msg != "" {
+		t.Fatalf("ordered rows = %+v", res.Rows())
 	}
 	var e expdb.Expr
 	if e, err = db.Plan(`SELECT uid FROM pol EXCEPT SELECT uid FROM el`); err != nil {
@@ -566,5 +567,141 @@ func TestAPIWireSurface(t *testing.T) {
 	}
 	if expdb.WireDegraded.String() != "degraded" {
 		t.Fatal("WireDegraded name")
+	}
+}
+
+func TestAPIQueryAndResultCache(t *testing.T) {
+	db := apiDB(t)
+	q := "SELECT deg, COUNT(*) FROM pol GROUP BY deg"
+
+	// Query is the documented entry point; Exec is its alias.
+	first, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first Query must miss")
+	}
+	if first.Validity != (expdb.Validity{At: 0, ValidUntil: 10}) {
+		t.Fatalf("validity = %v, want [0, 10)", first.Validity)
+	}
+	second, err := db.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("repeated Exec must be served from the result cache")
+	}
+	if len(second.Rows()) != 2 {
+		t.Fatalf("Rows() = %d, want 2 groups", len(second.Rows()))
+	}
+	if _, ok := second.Ordered(); ok {
+		t.Fatal("Ordered must report false without ORDER BY/LIMIT")
+	}
+
+	m, err := db.CacheMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hits != 1 || m.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", m.Hits, m.Misses)
+	}
+	if m.Capacity != expdb.DefaultResultCacheSize {
+		t.Fatalf("capacity = %d, want DefaultResultCacheSize (%d)", m.Capacity, expdb.DefaultResultCacheSize)
+	}
+	// The engine metrics snapshot embeds the same counters for /metrics.
+	if snap := db.Metrics(); snap.ResultCache == nil || snap.ResultCache.Hits != 1 {
+		t.Fatal("MetricsSnapshot must embed the result-cache block when enabled")
+	}
+
+	// Runtime disable: ErrCacheDisabled surfaces via errors.Is everywhere.
+	db.SetResultCache(0)
+	if _, err := db.CacheMetrics(); !errors.Is(err, expdb.ErrCacheDisabled) {
+		t.Fatalf("CacheMetrics with cache off = %v, want ErrCacheDisabled", err)
+	}
+	if _, err := db.Query("SHOW CACHE"); !errors.Is(err, expdb.ErrCacheDisabled) {
+		t.Fatalf("SHOW CACHE with cache off = %v, want ErrCacheDisabled", err)
+	}
+	if snap := db.Metrics(); snap.ResultCache != nil {
+		t.Fatal("MetricsSnapshot must omit the result-cache block when disabled")
+	}
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("cache-off Query must re-evaluate")
+	}
+	db.SetResultCache(8)
+	db.MustExec(q)
+	if !db.MustExec(q).Cached {
+		t.Fatal("re-enabled cache must serve hits again")
+	}
+}
+
+func TestAPIWithResultCacheOption(t *testing.T) {
+	db := apiDB(t, expdb.WithResultCache(0))
+	if _, err := db.CacheMetrics(); !errors.Is(err, expdb.ErrCacheDisabled) {
+		t.Fatal("WithResultCache(0) must open with the cache disabled")
+	}
+	sized := apiDB(t, expdb.WithResultCache(3))
+	m, err := sized.CacheMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Capacity != 3 {
+		t.Fatalf("capacity = %d, want 3", m.Capacity)
+	}
+}
+
+func TestAPIContextVariants(t *testing.T) {
+	db := apiDB(t)
+	ctx := context.Background()
+	if _, err := db.QueryContext(ctx, "SELECT * FROM pol"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecContext(ctx, "SELECT * FROM el"); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("CREATE MATERIALIZED VIEW hist AS SELECT deg, COUNT(*) FROM pol GROUP BY deg")
+	if _, _, err := db.ReadViewContext(ctx, "hist"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cancelled context fails fast at the statement boundary.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(cancelled, "SELECT * FROM pol"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryContext = %v, want context.Canceled", err)
+	}
+	if _, err := db.ExecContext(cancelled, "SELECT * FROM pol"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExecContext = %v, want context.Canceled", err)
+	}
+	if _, _, err := db.ReadViewContext(cancelled, "hist"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReadViewContext = %v, want context.Canceled", err)
+	}
+}
+
+func TestAPIReadInfoValidity(t *testing.T) {
+	db := apiDB(t)
+	db.MustExec("CREATE MATERIALIZED VIEW hist AS SELECT deg, COUNT(*) FROM pol GROUP BY deg")
+	_, info, err := db.ReadView("hist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Validity.At != 0 || info.Validity.ValidUntil != info.Texp {
+		t.Fatalf("ReadInfo.Validity = %v, want [0, %v)", info.Validity, info.Texp)
+	}
+	if !info.Cached {
+		t.Fatal("a fresh materialised view read must report Cached (served from the materialisation)")
+	}
+	// The deprecated rows helper still works and matches Result.Rows().
+	rows, err := db.ReadViewRows("hist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := db.MustExec("SELECT * FROM hist")
+	if len(rows) != len(res.Rows()) {
+		t.Fatalf("ReadViewRows = %d rows, Result.Rows() = %d", len(rows), len(res.Rows()))
 	}
 }

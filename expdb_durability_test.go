@@ -37,7 +37,7 @@ func render(t *testing.T, db *expdb.DB) string {
 			t.Fatalf("%s: %v", q, err)
 		}
 		fmt.Fprintf(&b, "-- %s @%v\n", q, res.At)
-		for _, row := range res.Rows {
+		for _, row := range res.Rows() {
 			fmt.Fprintf(&b, "%v texp=%v\n", row.Tuple, row.Texp)
 		}
 	}

@@ -108,6 +108,20 @@ func minChildTexp(tau xtime.Time, children ...Expr) (xtime.Time, error) {
 	return t, nil
 }
 
+// Window derives the uniform validity stamp of e at tau: the half-open
+// window [tau, texp(e)) during which a result materialised at tau stays
+// correct. Every operator folds its own expiration rule into ExprTexp —
+// min-combining for monotonic operators (Theorem 1), χ/ν change points
+// for aggregates — so Window is the one call sites need to stamp any
+// query result, cacheable or not, with the same validity semantics.
+func Window(e Expr, tau xtime.Time) (interval.Validity, error) {
+	texp, err := e.ExprTexp(tau)
+	if err != nil {
+		return interval.Validity{}, err
+	}
+	return interval.Validity{At: tau, ValidUntil: texp}, nil
+}
+
 // Walk visits e and all subexpressions depth-first, parents before
 // children.
 func Walk(e Expr, fn func(Expr)) {

@@ -38,6 +38,7 @@ func All() []Experiment {
 		{ID: "E10", Title: "§3.4.2: patch-budget trade-off", Run: RunE10},
 		{ID: "E11", Title: "§3.1: per-operator recomputation ablation", Run: RunE11},
 		{ID: "E12", Title: "durability: WAL cost, snapshot vs log-replay recovery", Run: RunE12},
+		{ID: "E13", Title: "result cache: zipfian read-heavy dashboard, cache on vs off", Run: RunE13},
 	}
 }
 

@@ -37,6 +37,8 @@ func TestAllExperimentsRun(t *testing.T) {
 		"per-operator",
 		"=== E12",
 		"durable (snapshot)",
+		"=== E13",
+		"cache on",
 	}
 	for _, want := range checks {
 		if !strings.Contains(out, want) {

@@ -21,6 +21,11 @@ var (
 	ErrNoSuchTable = errors.New("catalog: no such table")
 	// ErrNoSuchView: the named view is not in the catalog.
 	ErrNoSuchView = errors.New("catalog: no such view")
+	// ErrCacheDisabled: the validity-interval result cache is switched
+	// off (size 0), so cache-specific operations have nothing to answer
+	// from. Declared here with the other name-space sentinels so one
+	// import suffices for errors.Is across catalog, engine and SQL.
+	ErrCacheDisabled = errors.New("catalog: result cache disabled")
 )
 
 // Catalog maps names to relations and views. It is safe for concurrent

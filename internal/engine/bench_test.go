@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"expdb/internal/trace"
 	"expdb/internal/tuple"
 	"expdb/internal/xtime"
 )
@@ -181,5 +182,38 @@ func BenchmarkAdvanceLargeDelta(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkCacheHit measures the result cache's serve path: one map
+// probe, a clock/epoch check, an LRU touch and a shared snapshot. CI
+// pins it at ≤4 allocs/op (the snapshot header is the only required
+// allocation; the budget leaves slack for harness noise).
+func BenchmarkCacheHit(b *testing.B) {
+	e, names := benchTables(b, 1)
+	for r := 0; r < 1024; r++ {
+		if err := e.Insert(names[0], tuple.Ints(int64(r), int64(r%7)), xtime.Infinity); err != nil {
+			b.Fatal(err)
+		}
+	}
+	base, err := e.Base(names[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := base.String()
+	tid := trace.NextID()
+	if _, err := e.QueryStamped(base, key, tid); err != nil {
+		b.Fatal(err) // warm the entry
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qr, err := e.QueryStamped(base, key, tid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !qr.Cached {
+			b.Fatal("hit path fell through to evaluation")
+		}
 	}
 }

@@ -163,6 +163,19 @@ type Engine struct {
 	// equals the event's.
 	stale int
 
+	// epochs counts writes per table name: Insert/Delete/DDL bump the
+	// table's epoch inside the same mu critical section that applies the
+	// mutation, and result-cache lookups compare the epochs an entry was
+	// computed under against the current ones — any mismatch means a
+	// write happened since and the entry is unservable. Entries are never
+	// deleted (a drop+recreate must not reset the count), and expiry does
+	// NOT bump: ValidUntil = texp(e) already bounds every cached window.
+	epochs map[string]uint64
+	// cache is the validity-interval result cache (nil = disabled). Held
+	// through an atomic pointer so SetResultCache can swap it at runtime
+	// without a lock; see rescache.go for its internal hierarchy.
+	cache atomic.Pointer[resultCache]
+
 	triggers map[string][]TriggerFunc
 	watches  []*viewWatch
 	// m holds the atomic hot-path counters and histograms; unlike the
@@ -218,11 +231,13 @@ func New(opts ...Option) *Engine {
 		cat:        catalog.New(),
 		sweepEvery: 16,
 		triggers:   make(map[string][]TriggerFunc),
+		epochs:     make(map[string]uint64),
 		heap:       pqueue.New[expiryEvent](0),
 		timeWheel:  wheel.New[expiryEvent](0),
 		events:     trace.NewLog(DefaultEventLogCapacity),
 		traces:     trace.NewStore(DefaultTraceLogCapacity),
 	}
+	e.cache.Store(newResultCache(DefaultResultCacheSize))
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -280,6 +295,7 @@ func (e *Engine) CreateTable(name string, schema tuple.Schema) error {
 		e.mu.Unlock()
 		return err
 	}
+	e.epochs[name]++
 	e.mu.Unlock()
 	return e.walSync(seq)
 }
@@ -316,6 +332,7 @@ func (e *Engine) DropTable(name string) error {
 		return err
 	}
 	e.cat.DropTable(name)
+	e.epochs[name]++
 	if e.sweepMode == SweepEager {
 		e.stale += finite
 	}
@@ -399,6 +416,11 @@ func (e *Engine) insert(table string, t tuple.Tuple, texpAt func(xtime.Time) xti
 	}
 	changed, prev, had := rel.InsertKeyed(key, t, texp)
 	e.m.Inserts.Inc()
+	if changed {
+		// Invalidate cached results over this table. A no-change duplicate
+		// leaves every result identical, so it keeps the epoch too.
+		e.epochs[table]++
+	}
 	if changed && e.sweepMode == SweepEager {
 		if had && prev != xtime.Infinity {
 			// Lifetime extension: the event queued at prev is now stale.
@@ -436,6 +458,7 @@ func (e *Engine) Delete(table string, t tuple.Tuple) (bool, error) {
 		}
 		rel.DeleteKey(key)
 		e.m.Deletes.Inc()
+		e.epochs[table]++
 		if e.sweepMode == SweepEager && row.Texp != xtime.Infinity {
 			// The row's queued event is now stranded.
 			e.stale++
@@ -598,6 +621,10 @@ func (e *Engine) AdvanceTraced(to xtime.Time, tid trace.ID) error {
 	if err := e.walSync(seq); err != nil {
 		return err
 	}
+
+	// The clock is at to: result-cache entries whose ValidUntil it
+	// reached are drained by the same heartbeat that expires tuples.
+	e.cacheExpire(to, tid)
 
 	var events []firedEvent
 	if e.sweepMode == SweepEager {

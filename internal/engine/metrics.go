@@ -81,7 +81,10 @@ type MetricsSnapshot struct {
 	AdvanceNanos    metrics.HistogramSnapshot `json:"advance_nanos"`
 	ExpiryBatch     metrics.HistogramSnapshot `json:"expiry_batch_size"`
 	Scheduler       SchedulerMetrics          `json:"scheduler"`
-	Views           map[string]ViewMetrics    `json:"views,omitempty"`
+	// ResultCache is nil when the validity-interval result cache is
+	// disabled (SetResultCache(0)).
+	ResultCache *ResultCacheMetrics    `json:"result_cache,omitempty"`
+	Views       map[string]ViewMetrics `json:"views,omitempty"`
 }
 
 // Metrics returns a consistent-enough snapshot of the engine's counters,
@@ -117,6 +120,10 @@ func (e *Engine) Metrics() MetricsSnapshot {
 		s.Scheduler.Heap = &hs
 	}
 	e.mu.RUnlock()
+
+	if rc, err := e.ResultCacheStats(); err == nil {
+		s.ResultCache = &rc
+	}
 
 	for _, name := range e.cat.Views() {
 		v, err := e.cat.View(name)

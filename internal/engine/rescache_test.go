@@ -1,0 +1,492 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"expdb/internal/algebra"
+	"expdb/internal/catalog"
+	"expdb/internal/trace"
+	"expdb/internal/tuple"
+	"expdb/internal/xtime"
+)
+
+// stamped runs expr through QueryStamped using its normalized plan string
+// as the cache key, the way the SQL layer does.
+func stamped(t *testing.T, e *Engine, expr algebra.Expr) QueryResult {
+	t.Helper()
+	key := algebra.PushDownSelections(expr).String()
+	qr, err := e.QueryStamped(expr, key, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qr
+}
+
+// histExpr builds SELECT Deg, COUNT(*) FROM pol GROUP BY Deg with the
+// exact policy. Over the Figure 1 rows its materialisation at τ=0 is
+// valid on [0, 10): partition Deg=25 changes value at tick 10, when
+// (1,25) expires but (2,25) persists — a finite window, unlike a base
+// scan whose expiration-aware snapshot never invalidates by itself.
+func histExpr(t *testing.T, e *Engine) algebra.Expr {
+	t.Helper()
+	b, err := e.Base("pol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := algebra.GroupBy([]int{1}, []algebra.AggFunc{{Kind: algebra.AggCount, Col: -1}}, algebra.PolicyExact, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg
+}
+
+func cacheStats(t *testing.T, e *Engine) ResultCacheMetrics {
+	t.Helper()
+	m, err := e.ResultCacheStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCacheHitServesWithoutReevaluation(t *testing.T) {
+	e := newsEngine(t)
+	b := histExpr(t, e)
+
+	first := stamped(t, e, b)
+	if first.Cached {
+		t.Fatal("first read must be a miss")
+	}
+	if first.Validity.At != 0 || first.Validity.ValidUntil != 10 {
+		t.Fatalf("validity = %v, want [0,10)", first.Validity)
+	}
+	second := stamped(t, e, b)
+	if !second.Cached {
+		t.Fatal("second read must be served from the cache")
+	}
+	if second.Validity != first.Validity {
+		t.Fatalf("cached validity = %v, want %v", second.Validity, first.Validity)
+	}
+	if g, w := second.Rel.CountAt(second.At), first.Rel.CountAt(first.At); g != w {
+		t.Fatalf("cached rows = %d, want %d", g, w)
+	}
+	m := cacheStats(t, e)
+	if m.Hits != 1 || m.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", m.Hits, m.Misses)
+	}
+	if m.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", m.Entries)
+	}
+	if m.HitNanos.Count != 1 {
+		t.Fatalf("hit latency observations = %d, want 1", m.HitNanos.Count)
+	}
+}
+
+// The half-open window [At, ValidUntil): the entry must serve at
+// ValidUntil-1 and must be re-evaluated exactly at ValidUntil.
+func TestCacheBoundaryExactInvalidation(t *testing.T) {
+	e := newsEngine(t)
+	b := histExpr(t, e)
+
+	if qr := stamped(t, e, b); qr.Validity.ValidUntil != 10 {
+		t.Fatalf("ValidUntil = %v, want 10", qr.Validity.ValidUntil)
+	}
+	if err := e.Advance(9); err != nil {
+		t.Fatal(err)
+	}
+	atNine := stamped(t, e, b)
+	if !atNine.Cached {
+		t.Fatal("read at ValidUntil-1 must still hit")
+	}
+	if atNine.At != 9 {
+		t.Fatalf("At = %v, want 9", atNine.At)
+	}
+	if err := e.Advance(10); err != nil {
+		t.Fatal(err)
+	}
+	atTen := stamped(t, e, b)
+	if atTen.Cached {
+		t.Fatal("read at ValidUntil must re-evaluate")
+	}
+	if g := atTen.Rel.CountAt(10); g != 1 {
+		t.Fatalf("groups at 10 = %d, want 1 (only Deg=25 survives)", g)
+	}
+	if atTen.Validity.ValidUntil <= 10 {
+		t.Fatalf("fresh ValidUntil = %v, want > 10", atTen.Validity.ValidUntil)
+	}
+	m := cacheStats(t, e)
+	// The Advance-pipeline drain and the lookup re-check race benignly;
+	// either way exactly one window invalidation is counted.
+	if m.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", m.Invalidations)
+	}
+	if m.EpochInvalidations != 0 {
+		t.Fatalf("epoch invalidations = %d, want 0", m.EpochInvalidations)
+	}
+}
+
+// The Advance heartbeat drains due cache entries through the same pqueue
+// mechanism that expires tuples — before any lookup touches them.
+func TestCacheAdvanceDrainsDueEntries(t *testing.T) {
+	e := newsEngine(t)
+	b := histExpr(t, e)
+	stamped(t, e, b)
+	if m := cacheStats(t, e); m.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", m.Entries)
+	}
+	if err := e.Advance(12); err != nil {
+		t.Fatal(err)
+	}
+	m := cacheStats(t, e)
+	if m.Entries != 0 {
+		t.Fatalf("entries after advance past ValidUntil = %d, want 0", m.Entries)
+	}
+	if m.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", m.Invalidations)
+	}
+}
+
+func TestCacheEpochInvalidationOnWrite(t *testing.T) {
+	e := newsEngine(t)
+	b, _ := e.Base("pol")
+
+	stamped(t, e, b)
+	if err := e.Insert("pol", tuple.Ints(9, 99), 50); err != nil {
+		t.Fatal(err)
+	}
+	qr := stamped(t, e, b)
+	if qr.Cached {
+		t.Fatal("read after insert must not serve the stale entry")
+	}
+	if g := qr.Rel.CountAt(qr.At); g != 4 {
+		t.Fatalf("rows = %d, want 4", g)
+	}
+	// Refilled by the miss above; a delete must invalidate again.
+	if !stamped(t, e, b).Cached {
+		t.Fatal("refilled entry must hit")
+	}
+	if ok, err := e.Delete("pol", tuple.Ints(9, 99)); err != nil || !ok {
+		t.Fatalf("delete = %v, %v", ok, err)
+	}
+	if stamped(t, e, b).Cached {
+		t.Fatal("read after delete must not serve the stale entry")
+	}
+	m := cacheStats(t, e)
+	if m.EpochInvalidations != 2 {
+		t.Fatalf("epoch invalidations = %d, want 2", m.EpochInvalidations)
+	}
+	if m.Invalidations != 0 {
+		t.Fatalf("window invalidations = %d, want 0", m.Invalidations)
+	}
+}
+
+// A duplicate insert that changes nothing must not invalidate: the cached
+// rows are still exactly what a re-evaluation would produce.
+func TestCacheUnchangedDuplicateInsertStillHits(t *testing.T) {
+	e := newsEngine(t)
+	b, _ := e.Base("pol")
+	stamped(t, e, b)
+	if err := e.Insert("pol", tuple.Ints(1, 25), 10); err != nil {
+		t.Fatal(err)
+	}
+	if !stamped(t, e, b).Cached {
+		t.Fatal("no-op duplicate insert must not invalidate the entry")
+	}
+}
+
+// DROP + CREATE of a table with the same name must not alias the old
+// entry: epochs are monotone per name and never reset.
+func TestCacheDropRecreateDoesNotAlias(t *testing.T) {
+	e := newsEngine(t)
+	b, _ := e.Base("pol")
+	if g := stamped(t, e, b).Rel.CountAt(0); g != 3 {
+		t.Fatalf("rows = %d, want 3", g)
+	}
+	if err := e.DropTable("pol"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateTable("pol", tuple.IntCols("UID", "Deg")); err != nil {
+		t.Fatal(err)
+	}
+	nb, err := e.Base("pol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr := stamped(t, e, nb)
+	if qr.Cached {
+		t.Fatal("recreated table must not be answered from the old table's entry")
+	}
+	if g := qr.Rel.CountAt(qr.At); g != 0 {
+		t.Fatalf("rows = %d, want 0 (recreated empty)", g)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	e := newsEngine(t)
+	e.SetResultCache(2)
+	pol, _ := e.Base("pol")
+	el, _ := e.Base("el")
+	join, err := algebra.EquiJoin(pol, 0, el, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stamped(t, e, pol) // LRU order: pol
+	stamped(t, e, el)  // el, pol
+	stamped(t, e, pol) // pol, el — touch moves pol to front
+	stamped(t, e, join)
+	m := cacheStats(t, e)
+	if m.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", m.Evictions)
+	}
+	if m.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", m.Entries)
+	}
+	// Probe (not serve — a serve would refill) to check who survived:
+	// el was the LRU tail, pol was touched to the front.
+	if p := e.CacheProbe(el.String()); p != "cold" {
+		t.Fatalf("el probe = %q, want cold (evicted as LRU tail)", p)
+	}
+	if p := e.CacheProbe(pol.String()); p != "hit" {
+		t.Fatalf("pol probe = %q, want hit (touched, must survive)", p)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	e := newsEngine(t, WithResultCache(0))
+	if e.ResultCacheEnabled() {
+		t.Fatal("WithResultCache(0) must disable the cache")
+	}
+	_, err := e.ResultCacheStats()
+	if !errors.Is(err, ErrCacheDisabled) {
+		t.Fatalf("stats error = %v, want ErrCacheDisabled", err)
+	}
+	if !errors.Is(err, catalog.ErrCacheDisabled) {
+		t.Fatal("engine sentinel must wrap the catalog sentinel")
+	}
+	b := histExpr(t, e)
+	// Queries still run and still carry their validity stamp.
+	qr := stamped(t, e, b)
+	if qr.Cached {
+		t.Fatal("disabled cache must never report Cached")
+	}
+	if qr.Validity.ValidUntil != 10 {
+		t.Fatalf("validity = %v, want ValidUntil 10", qr.Validity)
+	}
+	if stamped(t, e, b).Cached {
+		t.Fatal("repeat query with cache disabled must re-evaluate")
+	}
+	if probe := e.CacheProbe(b.String()); probe != "disabled" {
+		t.Fatalf("probe = %q, want disabled", probe)
+	}
+
+	// Re-enable at runtime: caching resumes cold.
+	e.SetResultCache(4)
+	if !e.ResultCacheEnabled() {
+		t.Fatal("SetResultCache(4) must enable the cache")
+	}
+	stamped(t, e, b)
+	if !stamped(t, e, b).Cached {
+		t.Fatal("re-enabled cache must serve hits")
+	}
+	e.SetResultCache(0)
+	if _, err := e.ResultCacheStats(); !errors.Is(err, ErrCacheDisabled) {
+		t.Fatal("SetResultCache(0) must disable again")
+	}
+}
+
+func TestCacheEmptyKeyStampsWithoutCaching(t *testing.T) {
+	e := newsEngine(t)
+	b := histExpr(t, e)
+	qr, err := e.QueryStamped(b, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Cached {
+		t.Fatal("empty key must not be served from the cache")
+	}
+	if qr.Validity.ValidUntil != 10 {
+		t.Fatalf("validity = %v, want ValidUntil 10", qr.Validity)
+	}
+	if m := cacheStats(t, e); m.Entries != 0 || m.Misses != 0 {
+		t.Fatalf("entries/misses = %d/%d, want 0/0 (uncacheable reads touch no counters)", m.Entries, m.Misses)
+	}
+}
+
+func TestCacheProbeStates(t *testing.T) {
+	e := newsEngine(t)
+	b, _ := e.Base("pol")
+	key := b.String()
+	if p := e.CacheProbe(key); p != "cold" {
+		t.Fatalf("probe = %q, want cold", p)
+	}
+	stamped(t, e, b)
+	if p := e.CacheProbe(key); p != "hit" {
+		t.Fatalf("probe = %q, want hit", p)
+	}
+	if err := e.Insert("pol", tuple.Ints(7, 70), 40); err != nil {
+		t.Fatal(err)
+	}
+	if p := e.CacheProbe(key); p != "epoch-stale" {
+		t.Fatalf("probe = %q, want epoch-stale", p)
+	}
+	stamped(t, e, b) // refill with fresh epochs
+	// Probing must not serve or refresh the entry (EXPLAIN ANALYZE relies
+	// on this): the hit counter is untouched by probes.
+	hitsBefore := cacheStats(t, e).Hits
+	for i := 0; i < 3; i++ {
+		e.CacheProbe(key)
+	}
+	if g := cacheStats(t, e).Hits; g != hitsBefore {
+		t.Fatalf("hits after probes = %d, want %d", g, hitsBefore)
+	}
+}
+
+// Cached relations are handed out as shared snapshots: mutating a result
+// must never corrupt the cache's stored materialisation.
+func TestCacheResultIsolatedFromCallerMutation(t *testing.T) {
+	e := newsEngine(t)
+	b, _ := e.Base("pol")
+	first := stamped(t, e, b)
+	first.Rel.Insert(tuple.Ints(99, 99), 99) // copy-on-write detaches
+	second := stamped(t, e, b)
+	if !second.Cached {
+		t.Fatal("entry must still be servable after caller mutation")
+	}
+	if g := second.Rel.CountAt(second.At); g != 3 {
+		t.Fatalf("cached rows = %d, want 3 (caller's insert must not leak in)", g)
+	}
+}
+
+func TestCacheInfiniteValidityEntry(t *testing.T) {
+	e := New()
+	if err := e.CreateTable("eternal", tuple.IntCols("X")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Insert("eternal", tuple.Ints(1), xtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := e.Base("eternal")
+	qr := stamped(t, e, b)
+	if qr.Validity.ValidUntil != xtime.Infinity {
+		t.Fatalf("ValidUntil = %v, want Infinity", qr.Validity.ValidUntil)
+	}
+	if err := e.Advance(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !stamped(t, e, b).Cached {
+		t.Fatal("an Infinity-valid entry must survive any advance")
+	}
+}
+
+func TestCacheEventsEmitted(t *testing.T) {
+	e := newsEngine(t)
+	b := histExpr(t, e)
+	tid := trace.NextID()
+	key := b.String()
+	if _, err := e.QueryStamped(b, key, tid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.QueryStamped(b, key, tid); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Advance(12); err != nil {
+		t.Fatal(err)
+	}
+	var miss, hit, inval int
+	for _, ev := range e.Events().Snapshot(0) {
+		switch ev.Kind {
+		case trace.EvCacheMiss:
+			miss++
+		case trace.EvCacheHit:
+			hit++
+		case trace.EvCacheInvalidate:
+			inval++
+			if ev.Count != 1 {
+				t.Fatalf("invalidate count = %d, want 1", ev.Count)
+			}
+		}
+	}
+	if miss != 1 || hit != 1 || inval != 1 {
+		t.Fatalf("miss/hit/invalidate events = %d/%d/%d, want 1/1/1", miss, hit, inval)
+	}
+}
+
+// Recovery always boots the cache cold: cached materialisations are
+// derived state, not durable state, and the WAL neither logs nor replays
+// them.
+func TestCacheColdAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := openDurable(t, dir)
+	if err := e.CreateTable("pol", tuple.IntCols("UID", "Deg")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Insert("pol", tuple.Ints(1, 25), 50); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := e.Base("pol")
+	stamped(t, e, b)
+	if !stamped(t, e, b).Cached {
+		t.Fatal("pre-crash repeat must hit")
+	}
+	if err := e.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, info := openDurable(t, dir)
+	if info == nil || !info.Recovered {
+		t.Fatal("expected recovery")
+	}
+	m := cacheStats(t, re)
+	if m.Entries != 0 || m.Hits != 0 || m.Misses != 0 {
+		t.Fatalf("recovered cache entries/hits/misses = %d/%d/%d, want 0/0/0 (cold)", m.Entries, m.Hits, m.Misses)
+	}
+	rb, err := re.Base("pol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr := stamped(t, re, rb)
+	if qr.Cached {
+		t.Fatal("first post-recovery read must miss")
+	}
+	if g := qr.Rel.CountAt(qr.At); g != 1 {
+		t.Fatalf("recovered rows = %d, want 1", g)
+	}
+	if !stamped(t, re, rb).Cached {
+		t.Fatal("second post-recovery read must hit")
+	}
+	if err := re.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The cache-hit path must stay allocation-constant regardless of result
+// size: one shared-snapshot header, with a little slack for harness
+// noise. CI enforces the same budget through BenchmarkCacheHit.
+func TestCacheHitAllocs(t *testing.T) {
+	e := New()
+	if err := e.CreateTable("t", tuple.IntCols("id", "v")); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 512; r++ {
+		if err := e.Insert("t", tuple.Ints(int64(r), int64(r%5)), xtime.Infinity); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, _ := e.Base("t")
+	key := b.String()
+	tid := trace.NextID()
+	if _, err := e.QueryStamped(b, key, tid); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		qr, err := e.QueryStamped(b, key, tid)
+		if err != nil || !qr.Cached {
+			t.Fatalf("hit path failed: cached=%v err=%v", qr.Cached, err)
+		}
+	})
+	if allocs > 4 {
+		t.Fatalf("cache hit = %.1f allocs/op, budget 4", allocs)
+	}
+}

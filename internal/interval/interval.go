@@ -32,6 +32,29 @@ func (iv Interval) String() string {
 	return "[" + iv.Start.String() + ", " + iv.End.String() + "["
 }
 
+// Validity is the single half-open window [At, ValidUntil) every query
+// result is stamped with: the answer was computed at At and remains
+// correct — by Theorem 1 and the texp(e) derivations of §2–§4 — at every
+// instant before ValidUntil. It is the uniform, result-cache-friendly
+// projection of the richer Set semantics below: where a Set can recover
+// later windows (§3.3–3.4), a Validity only promises the first one.
+type Validity struct {
+	At         xtime.Time `json:"at"`
+	ValidUntil xtime.Time `json:"valid_until"`
+}
+
+// Contains reports whether t ∈ [At, ValidUntil).
+func (v Validity) Contains(t xtime.Time) bool { return t >= v.At && t < v.ValidUntil }
+
+// Empty reports whether the window contains no instants.
+func (v Validity) Empty() bool { return v.ValidUntil <= v.At }
+
+// Window returns the validity as an Interval.
+func (v Validity) Window() Interval { return Interval{Start: v.At, End: v.ValidUntil} }
+
+// String renders the window in the paper's [a, b[ notation.
+func (v Validity) String() string { return v.Window().String() }
+
 // Set is an immutable, normalised set of disjoint, sorted, non-empty
 // intervals. The zero value is the empty set.
 type Set struct {

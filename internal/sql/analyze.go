@@ -108,8 +108,23 @@ func (a *analyzed) Eval(tau xtime.Time) (*relation.Relation, error) {
 // tree and renders the plan annotated with actuals. Everything — the
 // plan-time texp derivation, the validity intervals and the execution —
 // happens inside one Engine.Inspect lock session, so plan and actual
-// figures describe the same frozen instant.
-func (s *Session) execExplainAnalyze(expr, rewritten algebra.Expr) (*Result, error) {
+// figures describe the same frozen instant. key is the plan's result
+// cache key ("" when the plan is uncacheable); ANALYZE probes the cache
+// state without serving from it, because its purpose is the actuals.
+func (s *Session) execExplainAnalyze(expr, rewritten algebra.Expr, key string) (*Result, error) {
+	var cacheLine string
+	if key == "" {
+		cacheLine = "uncacheable (plan embeds a view snapshot)"
+	} else {
+		switch probe := s.eng.CacheProbe(key); probe {
+		case "hit":
+			cacheLine = "hit (a SELECT would be served from the result cache, zero re-evaluation)"
+		case "disabled":
+			cacheLine = "disabled"
+		default: // cold, expired, epoch-stale
+			cacheLine = "miss (" + probe + ")"
+		}
+	}
 	root, err := instrument(rewritten)
 	if err != nil {
 		return nil, err
@@ -152,6 +167,7 @@ func (s *Session) execExplainAnalyze(expr, rewritten algebra.Expr) (*Result, err
 		fmt.Fprintf(&b, "texp(e):   %s (plan = actual)\n", planTexp)
 	}
 	fmt.Fprintf(&b, "validity:  %s\n", validity)
+	fmt.Fprintf(&b, "cache:     %s\n", cacheLine)
 	fmt.Fprintf(&b, "actual:    %d row(s), wall %s, trace %s\n", root.rowsOut, root.wall, s.tid)
 	b.WriteString("tree:\n")
 	analyzeNode(&b, root, "", "")

@@ -57,7 +57,7 @@ var keywords = map[string]bool{
 	"BOOL": true, "BOOLEAN": true, "TRUE": true, "FALSE": true, "NULL": true,
 	"REFRESH": true, "EXPLAIN": true, "VALIDITY": true,
 	"ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
-	"ANALYZE": true, "EVENTS": true, "TRACES": true,
+	"ANALYZE": true, "EVENTS": true, "TRACES": true, "CACHE": true,
 }
 
 // lex tokenises input, reporting the first malformed lexeme as an error.

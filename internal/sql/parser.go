@@ -155,7 +155,7 @@ func (p *parser) statement() (Statement, error) {
 		}
 		return &SetPolicy{Policy: name}, nil
 	case p.accept(tokKeyword, "SHOW"):
-		for _, what := range []string{"TABLES", "VIEWS", "TIME", "STATS", "METRICS", "EVENTS", "TRACES"} {
+		for _, what := range []string{"TABLES", "VIEWS", "TIME", "STATS", "METRICS", "CACHE", "EVENTS", "TRACES"} {
 			if p.accept(tokKeyword, what) {
 				show := &Show{What: what}
 				if what == "EVENTS" && p.accept(tokKeyword, "LIMIT") {
@@ -172,7 +172,7 @@ func (p *parser) statement() (Statement, error) {
 				return show, nil
 			}
 		}
-		return nil, fmt.Errorf("sql: SHOW expects TABLES, VIEWS, TIME, STATS, METRICS, EVENTS or TRACES, got %s", p.peek())
+		return nil, fmt.Errorf("sql: SHOW expects TABLES, VIEWS, TIME, STATS, METRICS, CACHE, EVENTS or TRACES, got %s", p.peek())
 	case p.accept(tokKeyword, "REFRESH"):
 		if _, err := p.expect(tokKeyword, "VIEW"); err != nil {
 			return nil, err

@@ -10,6 +10,7 @@ import (
 
 	"expdb/internal/algebra"
 	"expdb/internal/engine"
+	"expdb/internal/interval"
 	"expdb/internal/relation"
 	"expdb/internal/trace"
 	"expdb/internal/tuple"
@@ -21,11 +22,22 @@ import (
 type Result struct {
 	// Rel is the result relation of a query (nil for DDL/DML).
 	Rel *relation.Relation
-	// Rows is set when the query had ORDER BY or LIMIT: the visible rows
-	// in presentation order. The underlying result (Rel) remains a set.
-	Rows []relation.Row
+	// ordered holds the visible rows in presentation order when the
+	// query had ORDER BY or LIMIT; the underlying result (Rel) remains a
+	// set. Read through Rows, which falls back to deterministic key
+	// order for plain queries.
+	ordered    []relation.Row
+	hasOrdered bool
 	// At is the engine tick the result reflects.
 	At xtime.Time
+	// Validity is the result's validity window [At', ValidUntil): the
+	// answer was materialised at At' (≤ At for cached results) and — by
+	// Theorem 1 and the χ/ν change-point rules — stays correct at every
+	// instant before ValidUntil = texp(e). Zero for non-query statements.
+	Validity interval.Validity
+	// Cached reports the result was served from the validity-interval
+	// result cache with zero re-evaluation.
+	Cached bool
 	// Msg is a human-readable outcome for non-query statements and
 	// EXPLAIN.
 	Msg string
@@ -34,6 +46,25 @@ type Result struct {
 	// the same ID.
 	TraceID trace.ID
 }
+
+// Rows returns the result's visible rows: presentation order when the
+// statement had ORDER BY/LIMIT, otherwise the result set in the
+// deterministic order RowsSorted defines. Nil for statements without a
+// result relation.
+func (r *Result) Rows() []relation.Row {
+	if r.hasOrdered {
+		return r.ordered
+	}
+	if r.Rel == nil {
+		return nil
+	}
+	return r.Rel.RowsSorted(r.At)
+}
+
+// Ordered returns the presentation-ordered rows and true when the
+// statement carried ORDER BY/LIMIT; ok=false means the result is a plain
+// set (read it via Rows or Rel).
+func (r *Result) Ordered() ([]relation.Row, bool) { return r.ordered, r.hasOrdered }
 
 // Session executes SQL against an engine. It carries per-session settings
 // such as the aggregation expiration policy. A Session is not safe for
@@ -50,7 +81,18 @@ type Session struct {
 	// tracing costs nothing. Single-goroutine like the Session itself.
 	tid  trace.ID
 	span *trace.Span
+	// viewReads counts view resolutions performed by planFrom. A SELECT
+	// whose planning resolved a view is uncacheable: the view's snapshot
+	// is baked into the plan and the read itself may have mutated the
+	// view, so the plan string is not a stable key.
+	viewReads int
 }
+
+// ViewReads returns the session's cumulative count of view resolutions
+// during planning. Callers snapshot it around PlanQuery to learn whether
+// the produced plan embeds a view snapshot (and is therefore not
+// addressable by a normalized-plan cache key).
+func (s *Session) ViewReads() int { return s.viewReads }
 
 // NewSession opens a session on eng. Trigger notifications are written to
 // notify (pass nil to discard them).
@@ -203,22 +245,35 @@ func (s *Session) execStmt(stmt Statement) (*Result, error) {
 		return s.execDelete(st)
 
 	case *Select:
+		viewsBefore := s.viewReads
 		sp := s.span.Child("plan")
 		expr, err := s.planSelect(st)
 		sp.End()
 		if err != nil {
 			return nil, err
 		}
+		// The cache key is the canonical (selection-pushed) plan string —
+		// ORDER BY/LIMIT are presentation-level and applied after, so
+		// differently-dressed readings of the same relation share an
+		// entry. Plans that resolved a view are uncacheable: their tree
+		// embeds a point-in-time view snapshot.
+		key := ""
+		if s.viewReads == viewsBefore {
+			key = algebra.PushDownSelections(expr).String()
+		}
 		sp = s.span.Child("execute")
-		rel, now, err := s.eng.QueryTraced(expr)
+		qr, err := s.eng.QueryStamped(expr, key, s.tid)
 		sp.End()
 		if err != nil {
 			return nil, err
 		}
+		if qr.Cached {
+			s.span.Set("cache", "hit")
+		}
 		// At is the tick the evaluation actually used (read under the
 		// query's locks), not a re-read of the clock that a concurrent
 		// Advance could have moved since.
-		res := &Result{Rel: rel, At: now}
+		res := &Result{Rel: qr.Rel, At: qr.At, Validity: qr.Validity, Cached: qr.Cached}
 		if len(st.OrderBy) > 0 || st.Limit >= 0 {
 			if err := s.orderAndLimit(st, expr, res); err != nil {
 				return nil, err
@@ -416,6 +471,18 @@ func (s *Session) execShow(st *Show) (*Result, error) {
 			return nil, err
 		}
 		return &Result{Msg: string(buf), At: s.eng.Now()}, nil
+	case "CACHE":
+		rc, err := s.eng.ResultCacheStats()
+		if err != nil {
+			// Wraps engine's wrap of catalog.ErrCacheDisabled, so
+			// errors.Is(err, ErrCacheDisabled) holds at every layer.
+			return nil, fmt.Errorf("sql: SHOW CACHE: %w", err)
+		}
+		buf, err := json.MarshalIndent(rc, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Msg: string(buf), At: s.eng.Now()}, nil
 	case "EVENTS":
 		log := s.eng.Events()
 		evs := log.Snapshot(st.Limit)
@@ -454,13 +521,18 @@ func (s *Session) execShow(st *Show) (*Result, error) {
 }
 
 func (s *Session) execExplain(st *Explain) (*Result, error) {
+	viewsBefore := s.viewReads
 	expr, err := s.planSelect(st.Query)
 	if err != nil {
 		return nil, err
 	}
 	rewritten := algebra.PushDownSelections(expr)
 	if st.Analyze {
-		return s.execExplainAnalyze(expr, rewritten)
+		key := ""
+		if s.viewReads == viewsBefore {
+			key = rewritten.String()
+		}
+		return s.execExplainAnalyze(expr, rewritten, key)
 	}
 	// Engine.Inspect holds the plan's base-relation read locks while we
 	// derive: texp(e), the validity intervals and every per-node
@@ -603,6 +675,7 @@ func (s *Session) orderAndLimit(st *Select, expr algebra.Expr, res *Result) erro
 	if st.Limit >= 0 && st.Limit < len(rows) {
 		rows = rows[:st.Limit]
 	}
-	res.Rows = rows
+	res.ordered = rows
+	res.hasOrdered = true
 	return nil
 }

@@ -226,6 +226,7 @@ func (s *Session) planFrom(ref TableRef) (algebra.Expr, *scope, error) {
 		return base, newScope(ref.Name, base.Schema()), nil
 	}
 	sp := s.span.Child("read view " + ref.Name)
+	s.viewReads++
 	rel, info, err := s.eng.ReadViewTraced(ref.Name, s.tid)
 	sp.End()
 	if err != nil {

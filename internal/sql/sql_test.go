@@ -359,40 +359,47 @@ func TestEndToEndPaperScenario(t *testing.T) {
 func TestOrderByAndLimit(t *testing.T) {
 	s := newSession(t)
 	res := mustExec(t, s, "SELECT uid, deg FROM pol ORDER BY deg DESC, uid ASC")
-	if len(res.Rows) != 3 {
-		t.Fatalf("rows = %d", len(res.Rows))
+	rows := res.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
 	}
 	wantUIDs := []int64{3, 1, 2} // deg 35 first, then deg 25 by uid
 	for i, w := range wantUIDs {
-		if got := res.Rows[i].Tuple[0].AsInt(); got != w {
-			t.Fatalf("row %d uid = %d, want %d (rows %v)", i, got, w, res.Rows)
+		if got := rows[i].Tuple[0].AsInt(); got != w {
+			t.Fatalf("row %d uid = %d, want %d (rows %v)", i, got, w, rows)
 		}
 	}
 	res = mustExec(t, s, "SELECT uid FROM pol ORDER BY uid LIMIT 2")
-	if len(res.Rows) != 2 || res.Rows[0].Tuple[0].AsInt() != 1 || res.Rows[1].Tuple[0].AsInt() != 2 {
-		t.Fatalf("limit rows = %v", res.Rows)
+	rows = res.Rows()
+	if len(rows) != 2 || rows[0].Tuple[0].AsInt() != 1 || rows[1].Tuple[0].AsInt() != 2 {
+		t.Fatalf("limit rows = %v", rows)
 	}
 	// LIMIT without ORDER BY still truncates (deterministic: tuple order).
 	res = mustExec(t, s, "SELECT uid FROM pol LIMIT 1")
-	if len(res.Rows) != 1 {
-		t.Fatalf("rows = %d", len(res.Rows))
+	if len(res.Rows()) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows()))
 	}
-	// Plain queries leave Rows nil.
+	// Plain queries carry no presentation order; Rows falls back to the
+	// deterministic set order.
 	res = mustExec(t, s, "SELECT uid FROM pol")
-	if res.Rows != nil {
-		t.Fatal("Rows must be nil without ORDER BY/LIMIT")
+	if _, ok := res.Ordered(); ok {
+		t.Fatal("Ordered must report false without ORDER BY/LIMIT")
+	}
+	if len(res.Rows()) != 3 {
+		t.Fatalf("fallback rows = %d", len(res.Rows()))
 	}
 }
 
 func TestOrderByAfterSetOp(t *testing.T) {
 	s := newSession(t)
 	res := mustExec(t, s, "SELECT uid FROM pol UNION SELECT uid FROM el ORDER BY uid DESC LIMIT 3")
-	if len(res.Rows) != 3 {
-		t.Fatalf("rows = %d", len(res.Rows))
+	rows := res.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
 	}
 	want := []int64{4, 3, 2}
 	for i, w := range want {
-		if got := res.Rows[i].Tuple[0].AsInt(); got != w {
+		if got := rows[i].Tuple[0].AsInt(); got != w {
 			t.Fatalf("row %d = %d, want %d", i, got, w)
 		}
 	}

@@ -66,6 +66,15 @@ const (
 	// EvCheckpoint: a durability checkpoint wrote a snapshot and
 	// truncated the log (Count carries the number of tables captured).
 	EvCheckpoint
+	// EvCacheHit: a query was served from the result cache with zero
+	// re-evaluation (Texp carries the entry's ValidUntil).
+	EvCacheHit
+	// EvCacheMiss: a query had no servable cache entry — cold, expired,
+	// or invalidated by a base-table write — and was evaluated.
+	EvCacheMiss
+	// EvCacheInvalidate: result-cache entries were dropped because the
+	// clock reached their ValidUntil (Count carries how many).
+	EvCacheInvalidate
 )
 
 var eventKindNames = [...]string{
@@ -87,6 +96,9 @@ var eventKindNames = [...]string{
 	EvWireShutdown:    "wire-shutdown",
 	EvRecovery:        "recovery",
 	EvCheckpoint:      "checkpoint",
+	EvCacheHit:        "cache-hit",
+	EvCacheMiss:       "cache-miss",
+	EvCacheInvalidate: "cache-invalidate",
 }
 
 // String names the kind.

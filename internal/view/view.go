@@ -145,6 +145,13 @@ type ReadInfo struct {
 	// Texp is texp(e) of the materialisation that answered the read
 	// (refreshed first if the read recomputed).
 	Texp xtime.Time
+	// Validity is the uniform [materialised-at, texp(e)) stamp every read
+	// surface carries — the same currency Result exposes for queries, so
+	// callers reason about view reads and cached queries identically.
+	Validity interval.Validity
+	// Cached reports the answer was served from the materialisation with
+	// zero base-data work (Source == SourceMaterialised).
+	Cached bool
 	// TraceID ties the read to the lifecycle events it emitted; the
 	// engine stamps it after Read returns.
 	TraceID trace.ID
@@ -410,8 +417,11 @@ func (v *View) Read(tau xtime.Time) (*relation.Relation, ReadInfo, error) {
 		return nil, ReadInfo{}, err
 	}
 	// Texp is stamped last so a recomputing read reports the refreshed
-	// texp(e), not the one that just invalidated.
+	// texp(e), not the one that just invalidated — and the validity
+	// window is derived from the same post-read state.
 	info.Texp = v.texp
+	info.Validity = interval.Validity{At: v.matAt, ValidUntil: v.texp}
+	info.Cached = info.Source == SourceMaterialised
 	return rel, info, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"expdb/internal/interval"
 	"expdb/internal/pqueue"
 	"expdb/internal/relation"
 	"expdb/internal/trace"
@@ -140,6 +141,10 @@ type Client struct {
 	Rematerializations int
 	LocalReads         int
 	PatchesApplied     int
+	// ServerCacheHits counts materialisations the server answered from
+	// its validity-interval result cache (Response.Cached) — re-fetches
+	// that cost a round trip but zero server-side re-evaluation.
+	ServerCacheHits int
 
 	// Fault-tolerance counters.
 	//
@@ -436,6 +441,9 @@ func (c *Client) MaterializeContext(ctx context.Context, query string, withPatch
 	c.mat = rel
 	c.matAt = resp.Now
 	c.texp = resp.Texp
+	if resp.Cached {
+		c.ServerCacheHits++
+	}
 	c.patches = pqueue.New[patchItem](len(resp.Patches))
 	for _, wp := range resp.Patches {
 		t := make(tuple.Tuple, len(wp.Vals))
@@ -449,6 +457,14 @@ func (c *Client) MaterializeContext(ctx context.Context, query string, withPatch
 
 // Texp returns the expiration time of the local materialisation.
 func (c *Client) Texp() xtime.Time { return c.texp }
+
+// Validity returns the local copy's validity window [matAt, texp): the
+// span of ticks Read answers with zero round trips. The same interval a
+// Result carries locally, so remote and embedded readers reason about
+// freshness in one currency.
+func (c *Client) Validity() interval.Validity {
+	return interval.Validity{At: c.matAt, ValidUntil: c.texp}
+}
 
 // LastTraceID returns the trace ID of the most recent materialisation,
 // as confirmed by the server — the key for finding this fetch in the

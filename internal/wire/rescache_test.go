@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"testing"
+)
+
+// Two clients materialising the same query: the second is answered from
+// the server's validity-interval result cache, and both see identical
+// data and validity metadata.
+func TestServerResultCacheAcrossClients(t *testing.T) {
+	eng, _, addr := startServer(t)
+	q := "SELECT deg, COUNT(*) FROM pol GROUP BY deg"
+
+	a, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Materialize(q, false); err != nil {
+		t.Fatal(err)
+	}
+	if a.ServerCacheHits != 0 {
+		t.Fatalf("first materialise: server cache hits = %d, want 0", a.ServerCacheHits)
+	}
+
+	b, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Materialize(q, false); err != nil {
+		t.Fatal(err)
+	}
+	if b.ServerCacheHits != 1 {
+		t.Fatalf("second materialise: server cache hits = %d, want 1", b.ServerCacheHits)
+	}
+	if av, bv := a.Validity(), b.Validity(); av != bv {
+		t.Fatalf("validity diverged: first %v, cached %v", av, bv)
+	}
+	if bv := b.Validity(); bv.ValidUntil != 10 {
+		t.Fatalf("cached validity = %v, want ValidUntil 10", bv)
+	}
+	ra, err := a.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga, gb := ra.CountAt(0), rb.CountAt(0); ga != gb || ga != 2 {
+		t.Fatalf("rows: uncached %d, cached %d, want 2/2", ga, gb)
+	}
+
+	m, err := eng.ResultCacheStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hits != 1 || m.Misses != 1 {
+		t.Fatalf("server cache hits/misses = %d/%d, want 1/1", m.Hits, m.Misses)
+	}
+}
+
+// A patch-shipping materialisation (WantPatches) bypasses the cache: the
+// Theorem 3 helper budget is per-request and cannot be served from a
+// shared entry.
+func TestWantPatchesBypassesCache(t *testing.T) {
+	eng, _, addr := startServer(t)
+	q := "SELECT uid FROM pol EXCEPT SELECT uid FROM el"
+
+	for i := 0; i < 2; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Materialize(q, true); err != nil {
+			t.Fatal(err)
+		}
+		if c.ServerCacheHits != 0 {
+			t.Fatalf("patch materialise %d: server cache hits = %d, want 0", i, c.ServerCacheHits)
+		}
+		c.Close()
+	}
+	m, err := eng.ResultCacheStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hits != 0 {
+		t.Fatalf("server cache hits = %d, want 0 (patch requests must not share entries)", m.Hits)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"expdb/internal/algebra"
 	"expdb/internal/engine"
 	"expdb/internal/sql"
 	"expdb/internal/trace"
@@ -457,9 +458,44 @@ func (s *Server) respond(req *Request) *Response {
 		}
 		resp.TraceID = uint64(tid)
 		sess := sql.NewSessionWithMetrics(s.eng, nil, s.sqlm)
+		viewsBefore := sess.ViewReads()
 		expr, err := sess.PlanQueryTraced(req.Query, tid)
 		if err != nil {
 			resp.Err = err.Error()
+			return resp
+		}
+		if !req.WantPatches {
+			// Patch-free materialisations go through the validity-interval
+			// result cache: a repeated remote query is answered with zero
+			// re-evaluation while its window holds. Patched differences
+			// keep the dedicated path below — their texp folds the helper
+			// budget, which is per-request and uncacheable.
+			key := ""
+			if sess.ViewReads() == viewsBefore {
+				key = algebra.PushDownSelections(expr).String()
+			}
+			qr, err := s.eng.QueryStamped(expr, key, tid)
+			if err != nil {
+				resp.Err = err.Error()
+				return resp
+			}
+			resp.Now = qr.At
+			resp.Texp = qr.Validity.ValidUntil
+			resp.Cached = qr.Cached
+			for _, c := range qr.Rel.Schema().Cols {
+				resp.Cols = append(resp.Cols, WireColumn{Name: c.Name, Kind: c.Kind})
+			}
+			for _, row := range qr.Rel.RowsSorted(qr.At) {
+				wr := WireRow{Texp: row.Texp, Vals: make([]WireValue, len(row.Tuple))}
+				for i, v := range row.Tuple {
+					wr.Vals[i] = ToWire(v)
+				}
+				resp.Rows = append(resp.Rows, wr)
+			}
+			s.eng.Events().Emit(trace.Event{
+				Trace: tid, Kind: trace.EvWireMaterialize, Name: req.Query,
+				Tick: qr.At, Texp: resp.Texp, Count: int64(len(resp.Rows)),
+			})
 			return resp
 		}
 		// MaterializeExpr holds the engine lock, so the rows, texp(e) and

@@ -220,6 +220,13 @@ type Response struct {
 	Rows    []WireRow
 	Texp    xtime.Time // texp(e) of the materialisation
 	Patches []WirePatch
+	// Cached reports the server answered from its validity-interval
+	// result cache with zero re-evaluation. [Now, Texp) is the validity
+	// window either way, so the client's local-read behaviour is
+	// identical; the flag exists for observability. (Gob tolerates the
+	// field's absence, so mixed-version endpoints interoperate: a missing
+	// flag decodes as false.)
+	Cached bool
 	// TraceID is the trace ID the server tagged its work with — the
 	// request's, or a freshly minted one — so client-side latency can be
 	// correlated with the server's event log and spans.
