@@ -18,6 +18,14 @@
 // client closes its session. Transient network errors never kill the
 // client — it keeps answering from its local copy while the copy is
 // valid (degraded mode) and reconnects with backoff when it must.
+//
+// Diagnostics go to stderr through log/slog (-log-format text|json);
+// recovery, advance and shutdown lines carry the trace ID of the
+// lifecycle events they caused, so a log line joins against
+// /debug/events. With -metrics the daemon also serves /healthz
+// (liveness) and /readyz (readiness: recovery catch-up dispatched, WAL
+// unpoisoned, Advance fresh) plus Prometheus text exposition at
+// /metrics?format=prometheus.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -42,7 +51,7 @@ func main() {
 	query := flag.String("query", "SELECT uid FROM pol EXCEPT SELECT uid FROM el", "query to maintain remotely")
 	patches := flag.Bool("patches", false, "ship Theorem 3 patches (difference queries)")
 	ticks := flag.Int("ticks", 20, "how many ticks to observe")
-	metricsAddr := flag.String("metrics", "", "address to serve /metrics JSON and /debug/pprof on (e.g. :9090; server mode)")
+	metricsAddr := flag.String("metrics", "", "address to serve /metrics (JSON or ?format=prometheus), /healthz, /readyz and /debug/pprof on (e.g. :9090; server mode)")
 	idleTimeout := flag.Duration("idle-timeout", 30*time.Second, "server: disconnect a silent peer after this long")
 	maxConns := flag.Int("max-conns", 256, "server: concurrent connection cap (excess dials rejected cleanly)")
 	maxMsg := flag.Int64("max-msg-bytes", 8<<20, "server: largest single wire message accepted")
@@ -50,7 +59,19 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "client: per-round-trip deadline")
 	dataDir := flag.String("data-dir", "", "server: durable data directory (WAL + snapshots); state is recovered on boot and checkpointed on shutdown")
 	cacheSize := flag.Int("result-cache", expdb.DefaultResultCacheSize, "server: validity-interval result cache capacity (0 disables); hit/miss counters surface under result_cache on /metrics")
+	logFormat := flag.String("log-format", "text", "diagnostic log format on stderr: text or json")
+	sampleInterval := flag.Duration("sample-interval", time.Second, "server: monitoring sampler tick (history snapshots + watchdog)")
+	historyCap := flag.Int("history", 300, "server: retained history samples per metric series")
+	lagThreshold := flag.Int64("lag-threshold", 1, "server: p99 expiration dispatch-lag budget in ticks (0 disables the SLO check)")
+	stallAfter := flag.Duration("stall-after", 10*time.Second, "server: watchdog flags a stalled Advance after this long without a heartbeat (0 disables)")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "expsyncd:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
 
 	// One context for the whole process: SIGINT/SIGTERM cancels it and
 	// every loop below winds down gracefully.
@@ -59,12 +80,35 @@ func main() {
 
 	switch {
 	case *serve != "":
-		runServer(ctx, *serve, *metricsAddr, *dataDir, *ticks, *cacheSize, serverOptions(*idleTimeout, *maxConns, *maxMsg, *drain))
+		mon := expdb.MonitorOptions{
+			SampleInterval:    *sampleInterval,
+			HistoryCapacity:   *historyCap,
+			LagThresholdTicks: *lagThreshold,
+			StallAfter:        *stallAfter,
+		}
+		runServer(ctx, logger, serverConfig{
+			addr: *serve, metricsAddr: *metricsAddr, dataDir: *dataDir,
+			ticks: *ticks, cacheSize: *cacheSize, monitor: mon,
+			wire: serverOptions(*idleTimeout, *maxConns, *maxMsg, *drain),
+		})
 	case *connect != "":
-		runClient(ctx, *connect, *query, *patches, *ticks, *reqTimeout)
+		runClient(ctx, logger, *connect, *query, *patches, *ticks, *reqTimeout)
 	default:
 		fmt.Fprintln(os.Stderr, "expsyncd: pass -serve ADDR or -connect ADDR (see -help)")
 		os.Exit(1)
+	}
+}
+
+// newLogger builds the stderr diagnostic logger: text for humans, json
+// for collectors.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (text, json)", format)
 	}
 }
 
@@ -77,14 +121,24 @@ func serverOptions(idle time.Duration, maxConns int, maxMsg int64, drain time.Du
 	}
 }
 
-// serveMetrics mounts the database's JSON metrics snapshot, the
-// lifecycle-event and slow-query-trace rings, and the pprof profiling
-// handlers on their own listener, detached from the wire protocol port
-// so operators can scrape without touching data traffic. The returned
-// server is shut down (not abandoned) on exit.
-func serveMetrics(addr string, db *expdb.DB) *http.Server {
+type serverConfig struct {
+	addr, metricsAddr, dataDir string
+	ticks, cacheSize           int
+	monitor                    expdb.MonitorOptions
+	wire                       []expdb.WireServerOption
+}
+
+// serveMetrics mounts the database's metrics snapshot (JSON, or
+// Prometheus text with ?format=prometheus), the health endpoints the
+// watchdog feeds, the lifecycle-event and slow-query-trace rings, and
+// the pprof profiling handlers on their own listener, detached from the
+// wire protocol port so operators can scrape without touching data
+// traffic. The returned server is shut down (not abandoned) on exit.
+func serveMetrics(addr string, db *expdb.DB, logger *slog.Logger) *http.Server {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", db.MetricsHandler())
+	mux.Handle("/healthz", db.HealthzHandler())
+	mux.Handle("/readyz", db.ReadyzHandler())
 	mux.Handle("/debug/events", db.EventsHandler())
 	mux.Handle("/debug/traces", db.TracesHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -95,34 +149,37 @@ func serveMetrics(addr string, db *expdb.DB) *http.Server {
 	srv := &http.Server{Addr: addr, Handler: mux}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "expsyncd: metrics listener:", err)
+			logger.Error("metrics listener failed", "err", err)
 		}
 	}()
-	fmt.Printf("metrics on http://%s/metrics (events/traces/pprof under /debug/)\n", addr)
+	logger.Info("metrics listener up", "addr", addr,
+		"endpoints", "/metrics /healthz /readyz /debug/events /debug/traces /debug/pprof")
 	return srv
 }
 
-func runServer(ctx context.Context, addr, metricsAddr, dataDir string, ticks, cacheSize int, opts []expdb.WireServerOption) {
+func runServer(ctx context.Context, logger *slog.Logger, cfg serverConfig) {
 	var db *expdb.DB
-	if dataDir != "" {
+	if cfg.dataDir != "" {
 		var err error
-		if db, err = expdb.OpenDurableWithNotify(dataDir, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "expsyncd: recover:", err)
+		if db, err = expdb.OpenDurableWithNotify(cfg.dataDir, os.Stdout, expdb.WithMonitor(cfg.monitor)); err != nil {
+			logger.Error("recovery failed", "data_dir", cfg.dataDir, "err", err)
 			os.Exit(1)
 		}
 		if info := db.RecoveryInfo(); info.Recovered {
-			fmt.Printf("recovered %s: clock %s, %d table(s), %d view(s), %d row(s), %d log record(s) replayed (snapshot gen %d)\n",
-				dataDir, info.Clock, info.Tables, info.Views, info.Rows, info.Records, info.SnapshotGen)
+			logger.Info("recovered",
+				"trace", info.TraceID.String(), "data_dir", cfg.dataDir,
+				"clock", info.Clock.String(), "tables", info.Tables, "views", info.Views,
+				"rows", info.Rows, "records_replayed", info.Records, "snapshot_gen", info.SnapshotGen)
 			if info.Truncated {
-				fmt.Println("expsyncd: torn log tail truncated at last valid record")
+				logger.Warn("torn log tail truncated at last valid record", "trace", info.TraceID.String())
 			}
 		}
 	} else {
-		db = expdb.OpenWithNotify(os.Stdout)
+		db = expdb.OpenWithNotify(os.Stdout, expdb.WithMonitor(cfg.monitor))
 	}
 	// Size (or disable) the validity-interval result cache before any
 	// traffic arrives; recovery always boots it cold regardless.
-	db.SetResultCache(cacheSize)
+	db.SetResultCache(cfg.cacheSize)
 	// Seed the Figure 1 example only on a fresh database — a recovered
 	// directory already holds its (possibly mutated) state.
 	if info := db.RecoveryInfo(); info == nil || !info.Recovered {
@@ -136,25 +193,28 @@ func runServer(ctx context.Context, addr, metricsAddr, dataDir string, ticks, ca
 			INSERT INTO el VALUES (2, 85) EXPIRES AT 3;
 			INSERT INTO el VALUES (4, 90) EXPIRES AT 2;
 		`); err != nil {
-			fmt.Fprintln(os.Stderr, "expsyncd:", err)
+			logger.Error("seed script failed", "err", err)
 			os.Exit(1)
 		}
 	} else if err := db.Advance(db.Now()); err != nil {
 		// Catch-up advance: expirations whose tick passed while the
-		// process was down fire now, in one batch, before serving.
-		fmt.Fprintln(os.Stderr, "expsyncd: catch-up advance:", err)
+		// process was down fire now, in one batch, before serving. The
+		// batch inherits the recovery trace ID.
+		logger.Error("catch-up advance failed", "trace", info.TraceID.String(), "err", err)
+	} else {
+		logger.Info("catch-up advance dispatched", "trace", info.TraceID.String(), "clock", db.Now().String())
 	}
-	srv := db.NewWireServer(opts...)
-	bound, err := srv.Listen(addr)
+	srv := db.NewWireServer(cfg.wire...)
+	bound, err := srv.Listen(cfg.addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "expsyncd:", err)
+		logger.Error("wire listen failed", "addr", cfg.addr, "err", err)
 		os.Exit(1)
 	}
 	var metricsSrv *http.Server
-	if metricsAddr != "" {
-		metricsSrv = serveMetrics(metricsAddr, db)
+	if cfg.metricsAddr != "" {
+		metricsSrv = serveMetrics(cfg.metricsAddr, db, logger)
 	}
-	fmt.Printf("serving Figure 1 database on %s; advancing 1 tick/second for %d ticks\n", bound, ticks)
+	logger.Info("serving", "addr", bound, "ticks", cfg.ticks, "cadence", "1 tick/second")
 	// A recovered clock resumes where it left off: ticks continue from
 	// there rather than restarting at 1 (which would be an advance
 	// backwards).
@@ -162,57 +222,68 @@ func runServer(ctx context.Context, addr, metricsAddr, dataDir string, ticks, ca
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
 loop:
-	for t := 1; t <= ticks; t++ {
+	for t := 1; t <= cfg.ticks; t++ {
 		select {
 		case <-ctx.Done():
-			fmt.Println("expsyncd: signal received, shutting down")
+			logger.Info("signal received, shutting down")
 			break loop
 		case <-ticker.C:
 		}
 		// Advance failures are transient operator-visible conditions,
-		// not reasons to abandon connected view nodes.
-		if err := db.Advance(base + xtime.Time(t)); err != nil {
-			fmt.Fprintln(os.Stderr, "expsyncd: advance:", err)
+		// not reasons to abandon connected view nodes. Each advance
+		// carries a fresh trace ID so its log line joins against the
+		// expiry-batch events it caused.
+		tid := expdb.NewTraceID()
+		if err := db.Engine().AdvanceTraced(base+xtime.Time(t), tid); err != nil {
+			logger.Error("advance failed", "trace", tid.String(), "tick", int64(base)+int64(t), "err", err)
 			continue
 		}
 		fmt.Printf("tick %d (%s)\n", int64(base)+int64(t), srv.Stats())
 	}
-	// Graceful teardown: drain wire connections (bounded by -drain via
-	// Close), then stop the metrics listener.
+	// Graceful teardown, tagged with one trace ID so the shutdown's log
+	// lines group: drain wire connections (bounded by -drain via Close),
+	// checkpoint, then stop the metrics listener.
+	shutdownTID := expdb.NewTraceID()
 	if err := srv.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "expsyncd: wire shutdown:", err)
+		logger.Error("wire shutdown failed", "trace", shutdownTID.String(), "err", err)
 	}
-	if dataDir != "" {
+	if cfg.dataDir != "" {
 		// Checkpoint on shutdown so the next boot recovers from a fresh
 		// snapshot instead of replaying the whole log.
 		if err := db.Checkpoint(); err != nil {
-			fmt.Fprintln(os.Stderr, "expsyncd: checkpoint:", err)
+			logger.Error("checkpoint failed", "trace", shutdownTID.String(), "err", err)
 		}
-		if err := db.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "expsyncd: close:", err)
-		}
+	}
+	// Close stops the monitoring sampler for memory-only databases too.
+	if err := db.Close(); err != nil {
+		logger.Error("close failed", "trace", shutdownTID.String(), "err", err)
 	}
 	if metricsSrv != nil {
 		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 		if err := metricsSrv.Shutdown(sctx); err != nil {
-			fmt.Fprintln(os.Stderr, "expsyncd: metrics shutdown:", err)
+			logger.Error("metrics shutdown failed", "trace", shutdownTID.String(), "err", err)
 		}
 	}
 	wm := srv.WireMetrics()
-	fmt.Printf("wire: %s; accepted %d, rejected %d, timeouts %d, panics recovered %d\n",
-		srv.Stats(), wm.ConnsAccepted, wm.ConnsRejected, wm.Timeouts, wm.PanicsRecovered)
+	logger.Info("shutdown complete", "trace", shutdownTID.String(),
+		"stats", srv.Stats().String(), "accepted", wm.ConnsAccepted, "rejected", wm.ConnsRejected,
+		"timeouts", wm.Timeouts, "panics_recovered", wm.PanicsRecovered)
 }
 
-func runClient(ctx context.Context, addr, query string, patches bool, ticks int, reqTimeout time.Duration) {
+func runClient(ctx context.Context, logger *slog.Logger, addr, query string, patches bool, ticks int, reqTimeout time.Duration) {
+	// One session trace ID tags every request-path diagnostic this node
+	// emits.
+	sessionTID := expdb.NewTraceID()
+	logger = logger.With("trace", sessionTID.String())
 	c, err := expdb.DialWire(addr, expdb.WithWireRequestTimeout(reqTimeout))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "expsyncd:", err)
+		logger.Error("dial failed", "addr", addr, "err", err)
 		os.Exit(1)
 	}
 	defer c.Close()
 	if err := c.Materialize(query, patches); err != nil {
-		fmt.Fprintln(os.Stderr, "expsyncd:", err)
+		logger.Error("materialise failed", "query", query, "err", err)
 		os.Exit(1)
 	}
 	fmt.Printf("materialised %q (texp %s, patches %v)\n", query, c.Texp(), patches)
@@ -227,8 +298,8 @@ func runClient(ctx context.Context, addr, query string, patches bool, ticks int,
 		if t, err := c.ServerTime(); err != nil {
 			// Transient failure: stay up, answer locally, resync later.
 			now++
-			fmt.Fprintf(os.Stderr, "expsyncd: server unreachable (%v); continuing %s at local tick %s\n",
-				err, c.State(), now)
+			logger.Warn("server unreachable, continuing locally",
+				"state", c.State().String(), "local_tick", now.String(), "err", err)
 		} else {
 			now = t
 		}
@@ -236,7 +307,7 @@ func runClient(ctx context.Context, addr, query string, patches bool, ticks int,
 		if err != nil {
 			// Only possible when the copy is invalid AND reconnection
 			// failed — log, keep trying; the next tick may heal it.
-			fmt.Fprintln(os.Stderr, "expsyncd: read:", err)
+			logger.Error("read failed", "tick", now.String(), "err", err)
 		} else {
 			fmt.Printf("tick %s [%s] — local answer (%d rows, refetches %d, patches %d, degraded reads %d):\n%s",
 				now, c.State(), rel.CountAt(now), c.Rematerializations, c.PatchesApplied,
@@ -244,8 +315,8 @@ func runClient(ctx context.Context, addr, query string, patches bool, ticks int,
 		}
 		select {
 		case <-ctx.Done():
-			fmt.Println("expsyncd: signal received, closing session")
-			fmt.Printf("traffic: %s (reconnects %d, attempts %d)\n", c.Stats(), c.Reconnects, c.ReconnectAttempts)
+			logger.Info("signal received, closing session",
+				"traffic", c.Stats().String(), "reconnects", c.Reconnects, "attempts", c.ReconnectAttempts)
 			return
 		case <-ticker.C:
 		}

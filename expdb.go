@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"expdb/internal/algebra"
@@ -194,6 +195,11 @@ var (
 // Infinity is the expiration time of data that never expires.
 const Infinity = xtime.Infinity
 
+// NewTraceID allocates a fresh trace ID, e.g. to tag an
+// Engine.AdvanceTraced call or to correlate daemon log lines with the
+// lifecycle events they caused.
+func NewTraceID() TraceID { return trace.NextID() }
+
 // Value constructors.
 var (
 	// Int makes an integer value.
@@ -329,6 +335,11 @@ func WithWireJitterSeed(seed int64) WireClientOption { return wire.WithJitterSee
 type DB struct {
 	eng  *engine.Engine
 	sess *sql.Session
+
+	mu sync.Mutex
+	// wireServers tracks servers created through NewWireServer so the
+	// Prometheus exposition can aggregate their counters.
+	wireServers []*wire.Server
 }
 
 // Open creates an empty database at tick 0. Trigger NOTIFY output is
@@ -377,6 +388,12 @@ func openDB(notify io.Writer, opts ...EngineOption) (*DB, error) {
 			return nil, err
 		}
 	}
+	// The sampler starts only after recovery has replayed: its first tick
+	// then sees the post-replay baseline and the watchdog's
+	// recovery-catchup check reports the true pending state.
+	if mon := eng.Monitor(); mon != nil {
+		mon.Start()
+	}
 	return db, nil
 }
 
@@ -391,9 +408,15 @@ func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
 // directory.
 func (db *DB) RecoveryInfo() *RecoveryInfo { return db.eng.Recovery() }
 
-// Close flushes and closes the write-ahead log (a no-op for a
-// memory-only database). The database must not be used afterwards.
-func (db *DB) Close() error { return db.eng.CloseDurability() }
+// Close stops the monitor sampler (if any), then flushes and closes the
+// write-ahead log (a no-op for a memory-only database). The database
+// must not be used afterwards.
+func (db *DB) Close() error {
+	if mon := db.eng.Monitor(); mon != nil {
+		mon.Stop()
+	}
+	return db.eng.CloseDurability()
+}
 
 // Query runs one SQL statement and returns its Result, stamped with the
 // validity window [Validity.At, Validity.ValidUntil) the engine derived
@@ -512,7 +535,12 @@ func (db *DB) ReadViewRows(name string) ([]Row, error) {
 // start serving, and Close (or Shutdown with a context) to drain and
 // stop.
 func (db *DB) NewWireServer(opts ...WireServerOption) *WireServer {
-	return wire.NewServer(db.eng, opts...)
+	s := wire.NewServer(db.eng, opts...)
+	db.mu.Lock()
+	db.wireServers = append(db.wireServers, s)
+	db.mu.Unlock()
+	db.registerWireSeries(s)
+	return s
 }
 
 // DialWire connects a remote view node to a wire server, performing the
@@ -540,8 +568,15 @@ func (db *DB) SetResultCache(size int) { db.eng.SetResultCache(size) }
 
 // MetricsHandler serves the combined engine + SQL snapshot as
 // expvar-style JSON — mount it on any mux (expsyncd -metrics does).
+// `?format=prometheus` switches to text exposition format 0.0.4
+// (WritePrometheus), so one endpoint serves humans and scrapers.
 func (db *DB) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prometheus" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			db.WritePrometheus(w)
+			return
+		}
 		snap := struct {
 			Engine MetricsSnapshot    `json:"engine"`
 			SQL    SQLMetricsSnapshot `json:"sql"`

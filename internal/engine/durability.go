@@ -104,10 +104,15 @@ func (e *Engine) OpenDurability(compileView func(def string) error) (*RecoveryIn
 		return nil, err
 	}
 	// Only arm the log once replay succeeded: a failed recovery leaves
-	// the engine memory-only and the on-disk state untouched.
+	// the engine memory-only and the on-disk state untouched. Stored
+	// under mu because the monitor's health checks read these fields
+	// concurrently from the watchdog goroutine.
+	e.mu.Lock()
 	e.log = log
 	e.recovery = info
 	e.recoverTID = info.TraceID
+	e.mu.Unlock()
+	e.registerWALSeries(log)
 	e.events.Emit(trace.Event{
 		Trace: info.TraceID, Kind: trace.EvRecovery, Tick: info.Clock,
 		Count: int64(info.Records),

@@ -23,6 +23,7 @@ import (
 
 	"expdb/internal/algebra"
 	"expdb/internal/catalog"
+	"expdb/internal/monitor"
 	"expdb/internal/pqueue"
 	"expdb/internal/relation"
 	"expdb/internal/trace"
@@ -204,6 +205,13 @@ type Engine struct {
 	// recoverTID is consumed by the first untraced Advance after
 	// recovery, so the catch-up expiry batch shares the recovery trace.
 	recoverTID trace.ID
+
+	// Continuous monitoring (see monitor.go in this package): mon is nil
+	// unless WithMonitor was given; viewAgg is always present so views
+	// accumulate cross-view totals whether or not anyone samples them.
+	monOpts *monitor.Options
+	mon     *monitor.Monitor
+	viewAgg *view.AggMetrics
 }
 
 // Option configures an Engine.
@@ -236,11 +244,13 @@ func New(opts ...Option) *Engine {
 		timeWheel:  wheel.New[expiryEvent](0),
 		events:     trace.NewLog(DefaultEventLogCapacity),
 		traces:     trace.NewStore(DefaultTraceLogCapacity),
+		viewAgg:    &view.AggMetrics{},
 	}
 	e.cache.Store(newResultCache(DefaultResultCacheSize))
 	for _, opt := range opts {
 		opt(e)
 	}
+	e.initMonitor()
 	return e
 }
 
@@ -572,18 +582,27 @@ func (e *Engine) AdvanceTraced(to xtime.Time, tid trace.ID) error {
 	defer e.advMu.Unlock()
 	start := time.Now()
 
-	if tid == 0 {
-		// The first untraced advance after a recovery is the catch-up
-		// batch: it inherits the recovery trace ID, tying the expirations
-		// missed during downtime to the boot event that found them.
-		e.mu.Lock()
-		if e.recoverTID != 0 {
-			tid, e.recoverTID = e.recoverTID, 0
-		}
-		e.mu.Unlock()
+	// The first advance after a recovery is the catch-up batch: its
+	// expirations were missed during downtime, so their lag is recorded
+	// in the SLO tracker's separate catch-up series, and an untraced
+	// advance inherits the recovery trace ID, tying the batch to the
+	// boot event that found it.
+	catchup := false
+	e.mu.Lock()
+	if e.recoverTID != 0 {
 		if tid == 0 {
-			tid = trace.NextID()
+			tid = e.recoverTID
 		}
+		// Only an advance that dispatches expirations missed during real
+		// downtime is the catch-up batch; a fresh-directory boot carries a
+		// recovery trace ID but has nothing to catch up, and its first
+		// advance is ordinary steady-state traffic for the lag SLO.
+		catchup = e.recovery != nil && e.recovery.Recovered
+		e.recoverTID = 0
+	}
+	e.mu.Unlock()
+	if tid == 0 {
+		tid = trace.NextID()
 	}
 
 	e.maybeCompact(tid)
@@ -628,10 +647,10 @@ func (e *Engine) AdvanceTraced(to xtime.Time, tid trace.ID) error {
 
 	var events []firedEvent
 	if e.sweepMode == SweepEager {
-		events = e.expireBatch(due, to, tid)
+		events = e.expireBatch(due, to, tid, catchup)
 	} else {
 		for _, tick := range sweeps {
-			events = append(events, e.sweepTables(tick, tid)...)
+			events = append(events, e.sweepTables(tick, tid, catchup)...)
 		}
 	}
 	watches := e.checkWatches(to, tid)
@@ -641,6 +660,7 @@ func (e *Engine) AdvanceTraced(to xtime.Time, tid trace.ID) error {
 	}
 	e.m.Advances.Inc()
 	e.m.AdvanceNanos.Observe(time.Since(start).Nanoseconds())
+	e.observeAdvanceHeartbeat()
 	return nil
 }
 
@@ -666,8 +686,11 @@ func (e *Engine) popDue(to xtime.Time) []expiryEvent {
 // queued), or concurrently re-inserted since popDue — are dropped here
 // and deducted from the stale count. The returned events preserve the
 // scheduler's time order for dispatch. One lifecycle event per table
-// records the batch in the engine's event log, tagged with tid.
-func (e *Engine) expireBatch(due []expiryEvent, to xtime.Time, tid trace.ID) []firedEvent {
+// records the batch in the engine's event log, tagged with tid. Each
+// expired tuple's dispatch lag (to − texp) feeds the SLO tracker; a
+// catchup batch (the first advance after recovery) goes to its own
+// labelled series so downtime never reads as a lag breach.
+func (e *Engine) expireBatch(due []expiryEvent, to xtime.Time, tid trace.ID, catchup bool) []firedEvent {
 	if len(due) == 0 {
 		return nil
 	}
@@ -718,8 +741,10 @@ func (e *Engine) expireBatch(due []expiryEvent, to xtime.Time, tid trace.ID) []f
 		return nil
 	}
 	events := make([]firedEvent, 0, n)
+	slo := e.slo()
 	for i, ev := range due {
 		if expired[i] {
+			slo.ObserveDispatch(int64(to-ev.texp), catchup)
 			events = append(events, firedEvent{table: ev.table, row: rows[i], at: ev.texp})
 		}
 	}
@@ -728,16 +753,19 @@ func (e *Engine) expireBatch(due []expiryEvent, to xtime.Time, tid trace.ID) []f
 
 // sweepTables removes every tuple expired at tick from every table,
 // locking tables one at a time. Each table that shed tuples gets a sweep
-// lifecycle event tagged with tid.
-func (e *Engine) sweepTables(tick xtime.Time, tid trace.ID) []firedEvent {
+// lifecycle event tagged with tid, and each removed tuple's dispatch lag
+// (tick − texp, the §3.2 grid-period latency) feeds the SLO tracker.
+func (e *Engine) sweepTables(tick xtime.Time, tid trace.ID, catchup bool) []firedEvent {
 	var events []firedEvent
 	var latency int64
+	slo := e.slo()
 	for _, nt := range e.cat.TableSet() {
 		nt.Rel.Lock()
 		removed := nt.Rel.RemoveExpired(tick)
 		nt.Rel.Unlock()
 		for _, row := range removed {
 			latency += int64(tick - row.Texp)
+			slo.ObserveDispatch(int64(tick-row.Texp), catchup)
 			events = append(events, firedEvent{table: nt.Name, row: row, at: tick})
 		}
 		if len(removed) > 0 {
@@ -772,7 +800,7 @@ func (e *Engine) Sweep() error {
 	if err := e.walSync(seq); err != nil {
 		return err
 	}
-	events := e.sweepTables(now, trace.NextID())
+	events := e.sweepTables(now, trace.NextID(), false)
 	e.dispatch(events)
 	return nil
 }
@@ -878,6 +906,9 @@ func (e *Engine) CreateView(name string, expr algebra.Expr, opts ...view.Option)
 // into snapshots), so recovery can recompile the view through the SQL
 // layer; an empty def makes the view memory-only.
 func (e *Engine) CreateViewDef(name, def string, expr algebra.Expr, opts ...view.Option) (*view.View, error) {
+	// Every engine-created view feeds the shared cross-view aggregates,
+	// so the monitor can sample fleet-wide maintenance totals lock-free.
+	opts = append(opts, view.WithAggregate(e.viewAgg))
 	v, err := view.New(name, expr, opts...)
 	if err != nil {
 		return nil, err

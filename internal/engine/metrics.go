@@ -38,6 +38,29 @@ type Metrics struct {
 	ExpiryBatch metrics.Histogram
 }
 
+// RingMetrics describes one bounded observability ring (the lifecycle
+// event log, the slow-query trace store): lifetime volume, losses to
+// wraparound, and the high-water occupancy. HighWater at Capacity with
+// non-zero Dropped is the operator signal that the retention window is
+// too small for the event rate.
+type RingMetrics struct {
+	Total     uint64 `json:"total"`
+	Dropped   uint64 `json:"dropped"`
+	Capacity  int    `json:"capacity"`
+	HighWater uint64 `json:"high_water"`
+}
+
+// WALMetricsSnapshot is the write-ahead log block of a metrics snapshot.
+type WALMetricsSnapshot struct {
+	Appends       int64 `json:"appends"`
+	AppendedBytes int64 `json:"appended_bytes"`
+	Syncs         int64 `json:"syncs"`
+	SyncNanos     int64 `json:"sync_nanos"`
+	Rotations     int64 `json:"rotations"`
+	// Poisoned carries the sticky WAL error ("" while healthy).
+	Poisoned string `json:"poisoned,omitempty"`
+}
+
 // SchedulerMetrics describes the eager expiry scheduler in a snapshot.
 type SchedulerMetrics struct {
 	Kind    string `json:"kind"`
@@ -81,6 +104,13 @@ type MetricsSnapshot struct {
 	AdvanceNanos    metrics.HistogramSnapshot `json:"advance_nanos"`
 	ExpiryBatch     metrics.HistogramSnapshot `json:"expiry_batch_size"`
 	Scheduler       SchedulerMetrics          `json:"scheduler"`
+	// Events and Traces report the observability rings themselves —
+	// drops and high-water tell an operator whether the retained window
+	// is still trustworthy.
+	Events RingMetrics `json:"events"`
+	Traces RingMetrics `json:"traces"`
+	// WAL is nil for a memory-only engine.
+	WAL *WALMetricsSnapshot `json:"wal,omitempty"`
 	// ResultCache is nil when the validity-interval result cache is
 	// disabled (SetResultCache(0)).
 	ResultCache *ResultCacheMetrics    `json:"result_cache,omitempty"`
@@ -105,6 +135,30 @@ func (e *Engine) Metrics() MetricsSnapshot {
 		Checkpoints:     e.m.Checkpoints.Load(),
 		AdvanceNanos:    e.m.AdvanceNanos.Snapshot(),
 		ExpiryBatch:     e.m.ExpiryBatch.Snapshot(),
+		Events: RingMetrics{
+			Total: e.events.Total(), Dropped: e.events.Dropped(),
+			Capacity: e.events.Capacity(), HighWater: e.events.HighWater(),
+		},
+		Traces: RingMetrics{
+			Total: e.traces.Total(), Dropped: e.traces.Dropped(),
+			Capacity: e.traces.Capacity(), HighWater: e.traces.HighWater(),
+		},
+	}
+	e.mu.RLock()
+	log := e.log
+	e.mu.RUnlock()
+	if log != nil {
+		wm := log.Metrics()
+		s.WAL = &WALMetricsSnapshot{
+			Appends:       wm.Appends.Load(),
+			AppendedBytes: wm.AppendedBytes.Load(),
+			Syncs:         wm.Syncs.Load(),
+			SyncNanos:     wm.SyncNanos.Load(),
+			Rotations:     wm.Rotations.Load(),
+		}
+		if err := e.WALErr(); err != nil {
+			s.WAL.Poisoned = err.Error()
+		}
 	}
 	e.mu.RLock()
 	s.Now = e.now

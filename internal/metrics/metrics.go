@@ -92,6 +92,45 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observations so far.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
+// Quantile estimates the q-quantile (0 < q ≤ 1) of the observations so
+// far, returning the upper bound of the bucket holding the rank-⌈q·n⌉
+// observation. Because buckets are powers of two, the estimate e bounds
+// the true value v by v ≤ e < 2·v for v > 1 (exact for v ≤ 1), and it is
+// never an underestimate — the right sidedness for latency SLOs, where a
+// threshold compared against Quantile can only flag late, not early.
+// Returns 0 when nothing has been observed. Allocation-free: one pass
+// over the fixed bucket array.
+func (h *Histogram) Quantile(q float64) int64 {
+	var counts [NumBuckets]int64
+	total := int64(0)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return quantileOf(&counts, total, q)
+}
+
+// quantileOf resolves the q-quantile over a bucket count array whose
+// occupancy sums to total. Shared by Histogram.Quantile (live) and
+// Snapshot (point-in-time copy).
+func quantileOf(counts *[NumBuckets]int64, total int64, q float64) int64 {
+	if total <= 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank <= 0 {
+		rank = 1
+	}
+	seen := int64(0)
+	for i, c := range counts {
+		seen += c
+		if c > 0 && seen >= rank {
+			return upperBound(i)
+		}
+	}
+	return 0
+}
+
 // Bucket is one non-empty histogram bucket in a snapshot: Count
 // observations with value ≤ Le (and greater than the previous bucket's
 // Le).
@@ -138,23 +177,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		counts[i] = h.buckets[i].Load()
 		total += counts[i]
 	}
-	quantile := func(q float64) int64 {
-		rank := int64(math.Ceil(q * float64(total)))
-		if rank <= 0 {
-			rank = 1
-		}
-		seen := int64(0)
-		for i, c := range counts {
-			seen += c
-			if c > 0 && seen >= rank {
-				return upperBound(i)
-			}
-		}
-		return 0
-	}
 	if total > 0 {
-		s.P50 = quantile(0.50)
-		s.P99 = quantile(0.99)
+		s.P50 = quantileOf(&counts, total, 0.50)
+		s.P99 = quantileOf(&counts, total, 0.99)
 	}
 	for i, c := range counts {
 		if c == 0 {

@@ -100,6 +100,99 @@ func TestHistogramEmptySnapshot(t *testing.T) {
 	}
 }
 
+// TestQuantileBounds pins the estimator's error contract: for any
+// observation set, Quantile(q) is an upper bound on the true q-quantile
+// and stays strictly below twice it (the power-of-two bucket width). The
+// SLO lag thresholds lean on exactly this one-sidedness — a lag budget
+// compared against Quantile can flag late dispatch but never falsely
+// acquit it.
+func TestQuantileBounds(t *testing.T) {
+	rng := uint64(0x9e3779b97f4a7c15) // splitmix64 walk, deterministic
+	next := func() uint64 {
+		rng += 0x9e3779b97f4a7c15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	var h Histogram
+	var obs []int64
+	for i := 0; i < 5000; i++ {
+		v := int64(next() % 1_000_000)
+		h.Observe(v)
+		obs = append(obs, v)
+	}
+	sorted := append([]int64(nil), obs...)
+	sortInt64s(sorted)
+	for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.99, 1.0} {
+		rank := int(q*float64(len(sorted))+0.9999999) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		truth := sorted[rank]
+		got := h.Quantile(q)
+		if got < truth {
+			t.Fatalf("Quantile(%v) = %d underestimates true %d", q, got, truth)
+		}
+		if truth > 1 && got >= 2*truth {
+			t.Fatalf("Quantile(%v) = %d exceeds 2x true %d", q, got, truth)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	h.Observe(0)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("all-zero quantile = %d, want 0", got)
+	}
+	h.Observe(1)
+	// Exact for v ≤ 1: bucket 1 has upper bound 1.
+	if got := h.Quantile(1.0); got != 1 {
+		t.Fatalf("quantile(1.0) = %d, want 1", got)
+	}
+}
+
+// TestQuantileMatchesSnapshot keeps the live accessor and the snapshot's
+// P50/P99 on one code path.
+func TestQuantileMatchesSnapshot(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if got := h.Quantile(0.50); got != s.P50 {
+		t.Fatalf("Quantile(0.5) = %d, snapshot P50 = %d", got, s.P50)
+	}
+	if got := h.Quantile(0.99); got != s.P99 {
+		t.Fatalf("Quantile(0.99) = %d, snapshot P99 = %d", got, s.P99)
+	}
+}
+
+// TestQuantileNoAllocs: the watchdog calls Quantile on every evaluation
+// tick, so it shares the hot-path allocation contract.
+func TestQuantileNoAllocs(t *testing.T) {
+	var h Histogram
+	for i := int64(0); i < 100; i++ {
+		h.Observe(i * 37)
+	}
+	n := testing.AllocsPerRun(500, func() { h.Quantile(0.99) })
+	if n != 0 {
+		t.Fatalf("Quantile allocates %v times per run, want 0", n)
+	}
+}
+
+func sortInt64s(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
 func TestSnapshotJSON(t *testing.T) {
 	var h Histogram
 	h.Observe(5)

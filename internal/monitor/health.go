@@ -1,0 +1,195 @@
+package monitor
+
+import "sync"
+
+// State is the process-level health verdict the watchdog maintains.
+type State uint8
+
+const (
+	// StateStarting: no watchdog evaluation has run yet (boot, recovery
+	// replay). Live but not ready — /readyz answers 503.
+	StateStarting State = iota
+	// StateReady: every check passes. Live and ready.
+	StateReady
+	// StateDegraded: a readiness check fails (recovery catch-up pending,
+	// Advance not fresh) but nothing liveness-affecting. The process
+	// serves what it can — /healthz 200, /readyz 503.
+	StateDegraded
+	// StateUnhealthy: a liveness check fails — stalled Advance, poisoned
+	// WAL, sustained SLO breach. /healthz answers 503; an orchestrator
+	// should restart the process.
+	StateUnhealthy
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateStarting:
+		return "starting"
+	case StateReady:
+		return "ready"
+	case StateDegraded:
+		return "degraded"
+	default:
+		return "unhealthy"
+	}
+}
+
+// MarshalJSON renders the state by name.
+func (s State) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// Severity says what a failing check takes down.
+type Severity uint8
+
+const (
+	// SevReadiness: failure flips readiness only (the condition is
+	// expected to clear — recovery catch-up, a briefly stale heartbeat).
+	SevReadiness Severity = iota
+	// SevLiveness: failure means the process cannot do its job and will
+	// not recover on its own (poisoned WAL, stalled Advance pipeline,
+	// sustained SLO breach). Implies not ready.
+	SevLiveness
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == SevReadiness {
+		return "readiness"
+	}
+	return "liveness"
+}
+
+// CheckFunc probes one condition; nil means healthy. Checks run on every
+// watchdog evaluation and must be cheap, allocation-free on success, and
+// return stable (preferably preallocated sentinel) errors on failure.
+type CheckFunc func() error
+
+// check is one registered probe with its most recent result.
+type check struct {
+	name string
+	sev  Severity
+	fn   CheckFunc
+	err  error // last result
+}
+
+// Health is the watchdog's state machine: a fixed set of named checks
+// evaluated periodically, folded into a single State with transitions
+// surfaced through onChange (the engine wires that to an EvHealthChange
+// trace event). The zero value is unusable; use NewHealth.
+type Health struct {
+	mu       sync.Mutex
+	checks   []*check
+	state    State
+	onChange func(old, new State, cause string)
+}
+
+// NewHealth returns a health tracker in StateStarting. onChange, if
+// non-nil, is called (outside the health mutex) on every state
+// transition with the name of the check that caused it ("" when the
+// transition is a recovery to ready).
+func NewHealth(onChange func(old, new State, cause string)) *Health {
+	return &Health{state: StateStarting, onChange: onChange}
+}
+
+// AddCheck registers a named probe. Nil-safe. Registration order is
+// evaluation and reporting order.
+func (h *Health) AddCheck(name string, sev Severity, fn CheckFunc) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.checks = append(h.checks, &check{name: name, sev: sev, fn: fn})
+}
+
+// Eval runs every check and folds the results into the current state:
+// any liveness failure → StateUnhealthy; else any readiness failure →
+// StateDegraded; else StateReady. It is the watchdog tick — allocation
+// free when checks return nil or preallocated errors. Nil-safe; returns
+// the resulting state.
+func (h *Health) Eval() State {
+	if h == nil {
+		return StateStarting
+	}
+	h.mu.Lock()
+	next := StateReady
+	cause := ""
+	for _, c := range h.checks {
+		c.err = c.fn()
+		if c.err == nil {
+			continue
+		}
+		if c.sev == SevLiveness {
+			if next != StateUnhealthy {
+				next, cause = StateUnhealthy, c.name
+			}
+		} else if next == StateReady {
+			next, cause = StateDegraded, c.name
+		}
+	}
+	old := h.state
+	h.state = next
+	onChange := h.onChange
+	h.mu.Unlock()
+	if old != next && onChange != nil {
+		onChange(old, next, cause)
+	}
+	return next
+}
+
+// State returns the verdict of the most recent Eval (StateStarting
+// before the first). Nil-safe.
+func (h *Health) State() State {
+	if h == nil {
+		return StateStarting
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+// Live reports process liveness: everything except StateUnhealthy.
+func (h *Health) Live() bool { return h.State() != StateUnhealthy }
+
+// Ready reports readiness to serve: StateReady only.
+func (h *Health) Ready() bool { return h.State() == StateReady }
+
+// CheckResult is one check's latest outcome in a snapshot.
+type CheckResult struct {
+	Name     string `json:"name"`
+	Severity string `json:"severity"`
+	OK       bool   `json:"ok"`
+	Error    string `json:"error,omitempty"`
+}
+
+// HealthSnapshot is the JSON body /healthz and /readyz serve.
+type HealthSnapshot struct {
+	State  State         `json:"state"`
+	Live   bool          `json:"live"`
+	Ready  bool          `json:"ready"`
+	Checks []CheckResult `json:"checks,omitempty"`
+}
+
+// Snapshot copies the latest evaluation results. Nil-safe.
+func (h *Health) Snapshot() HealthSnapshot {
+	if h == nil {
+		return HealthSnapshot{State: StateStarting, Live: true}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HealthSnapshot{
+		State: h.state,
+		Live:  h.state != StateUnhealthy,
+		Ready: h.state == StateReady,
+	}
+	for _, c := range h.checks {
+		r := CheckResult{Name: c.name, Severity: c.sev.String(), OK: c.err == nil}
+		if c.err != nil {
+			r.Error = c.err.Error()
+		}
+		snap.Checks = append(snap.Checks, r)
+	}
+	return snap
+}

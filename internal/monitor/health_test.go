@@ -1,0 +1,120 @@
+package monitor
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestHealthFolding(t *testing.T) {
+	failReady := errors.New("catching up")
+	failLive := errors.New("wal poisoned")
+	var readyErr, liveErr error
+	h := NewHealth(nil)
+	h.AddCheck("recovery", SevReadiness, func() error { return readyErr })
+	h.AddCheck("wal", SevLiveness, func() error { return liveErr })
+
+	if h.State() != StateStarting || !h.Live() || h.Ready() {
+		t.Fatalf("before first eval: %v", h.State())
+	}
+	if got := h.Eval(); got != StateReady {
+		t.Fatalf("all-pass eval = %v, want ready", got)
+	}
+	readyErr = failReady
+	if got := h.Eval(); got != StateDegraded {
+		t.Fatalf("readiness failure = %v, want degraded", got)
+	}
+	if !h.Live() || h.Ready() {
+		t.Fatal("degraded must stay live, not ready")
+	}
+	liveErr = failLive
+	if got := h.Eval(); got != StateUnhealthy {
+		t.Fatalf("liveness failure = %v, want unhealthy", got)
+	}
+	if h.Live() || h.Ready() {
+		t.Fatal("unhealthy must be neither live nor ready")
+	}
+	readyErr, liveErr = nil, nil
+	if got := h.Eval(); got != StateReady {
+		t.Fatalf("recovery eval = %v, want ready", got)
+	}
+}
+
+func TestHealthOnChange(t *testing.T) {
+	type change struct {
+		old, new State
+		cause    string
+	}
+	var changes []change
+	var fail error
+	h := NewHealth(func(old, new State, cause string) {
+		changes = append(changes, change{old, new, cause})
+	})
+	h.AddCheck("probe", SevLiveness, func() error { return fail })
+
+	h.Eval() // starting → ready
+	h.Eval() // steady: no callback
+	fail = errors.New("boom")
+	h.Eval() // ready → unhealthy
+	fail = nil
+	h.Eval() // unhealthy → ready
+
+	want := []change{
+		{StateStarting, StateReady, ""},
+		{StateReady, StateUnhealthy, "probe"},
+		{StateUnhealthy, StateReady, ""},
+	}
+	if len(changes) != len(want) {
+		t.Fatalf("changes = %+v, want %+v", changes, want)
+	}
+	for i := range want {
+		if changes[i] != want[i] {
+			t.Fatalf("change[%d] = %+v, want %+v", i, changes[i], want[i])
+		}
+	}
+}
+
+func TestHealthSnapshot(t *testing.T) {
+	h := NewHealth(nil)
+	h.AddCheck("ok", SevReadiness, func() error { return nil })
+	h.AddCheck("bad", SevLiveness, func() error { return errors.New("down") })
+	h.Eval()
+	snap := h.Snapshot()
+	if snap.State != StateUnhealthy || snap.Live || snap.Ready {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if len(snap.Checks) != 2 {
+		t.Fatalf("checks = %d, want 2", len(snap.Checks))
+	}
+	if !snap.Checks[0].OK || snap.Checks[0].Severity != "readiness" {
+		t.Fatalf("check[0] = %+v", snap.Checks[0])
+	}
+	if snap.Checks[1].OK || snap.Checks[1].Error != "down" {
+		t.Fatalf("check[1] = %+v", snap.Checks[1])
+	}
+}
+
+func TestHealthNilSafe(t *testing.T) {
+	var h *Health
+	h.AddCheck("x", SevLiveness, func() error { return nil })
+	if h.Eval() != StateStarting || h.State() != StateStarting {
+		t.Fatal("nil Health should report starting")
+	}
+	snap := h.Snapshot()
+	if !snap.Live || snap.Ready {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+}
+
+// TestHealthEvalNoAllocs: the watchdog evaluates every tick, so a steady
+// state (passing checks or preallocated sentinel failures) must not
+// allocate.
+func TestHealthEvalNoAllocs(t *testing.T) {
+	h := NewHealth(func(old, new State, cause string) {})
+	h.AddCheck("a", SevReadiness, func() error { return nil })
+	h.AddCheck("b", SevLiveness, func() error { return errAdvanceStalled })
+	h.Eval() // settle the state so no transitions fire
+	n := testing.AllocsPerRun(500, func() { h.Eval() })
+	if n != 0 {
+		t.Fatalf("Eval allocates %v times per run, want 0", n)
+	}
+}

@@ -1,0 +1,194 @@
+package monitor
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"expdb/internal/trace"
+)
+
+func TestMonitorDefaults(t *testing.T) {
+	m := New(Options{}, nil)
+	o := m.Options()
+	if o.SampleInterval != DefaultSampleInterval ||
+		o.HistoryCapacity != DefaultHistoryCapacity ||
+		o.LagThresholdTicks != DefaultLagThresholdTicks ||
+		o.SustainedBreaches != DefaultSustainedBreaches {
+		t.Fatalf("defaults = %+v", o)
+	}
+	if o.StallAfter != 0 {
+		t.Fatal("StallAfter must stay opt-in")
+	}
+	if got := New(Options{LagThresholdTicks: -1}, nil).SLO.LagThreshold(); got != 0 {
+		t.Fatalf("negative threshold should disable (0), got %d", got)
+	}
+}
+
+func TestMonitorSustainedBreach(t *testing.T) {
+	var events []trace.Event
+	m := New(Options{LagThresholdTicks: 2, SustainedBreaches: 2},
+		func(kind trace.EventKind, cause string, count int64) {
+			events = append(events, trace.Event{Kind: kind, Name: cause, Count: count})
+		})
+
+	m.Tick() // no lag yet: starting → ready
+	if got := m.Health.State(); got != StateReady {
+		t.Fatalf("state after clean tick = %v, want ready", got)
+	}
+	if len(events) != 1 || events[0].Kind != trace.EvHealthChange || events[0].Count != int64(StateReady) {
+		t.Fatalf("events = %+v, want one health-change to ready", events)
+	}
+
+	// Push p99 over the threshold: one breached evaluation degrades
+	// nothing (SustainedBreaches = 2)...
+	for i := 0; i < 10; i++ {
+		m.SLO.ObserveDispatch(100, false)
+	}
+	m.Tick()
+	if got := m.Health.State(); got != StateReady {
+		t.Fatalf("single breach flipped state to %v", got)
+	}
+	// ...the second consecutive one flips liveness and emits the breach
+	// event exactly once.
+	m.Tick()
+	if got := m.Health.State(); got != StateUnhealthy {
+		t.Fatalf("sustained breach state = %v, want unhealthy", got)
+	}
+	var breaches, healthChanges int
+	for _, e := range events {
+		switch e.Kind {
+		case trace.EvSLOBreach:
+			breaches++
+			if e.Count < 100 {
+				t.Fatalf("breach event p99 = %d, want >= 100", e.Count)
+			}
+		case trace.EvHealthChange:
+			healthChanges++
+		}
+	}
+	if breaches != 1 || healthChanges != 2 {
+		t.Fatalf("breach events = %d (want 1), health changes = %d (want 2)", breaches, healthChanges)
+	}
+	if got := m.SLO.Breaches.Load(); got != 2 {
+		t.Fatalf("breach counter = %d, want one per breached tick (2)", got)
+	}
+
+	// Dilute the distribution back under the budget: the very next tick
+	// resets the streak and health recovers.
+	for i := 0; i < 10_000; i++ {
+		m.SLO.ObserveDispatch(0, false)
+	}
+	m.Tick()
+	if got := m.Health.State(); got != StateReady {
+		t.Fatalf("post-recovery state = %v, want ready", got)
+	}
+}
+
+func TestMonitorStallChecks(t *testing.T) {
+	m := New(Options{StallAfter: time.Hour}, nil)
+	m.Tick()
+	if got := m.Health.State(); got != StateReady {
+		t.Fatalf("never-advanced process = %v, want ready (boot readiness is recovery's job)", got)
+	}
+	// A heartbeat older than StallAfter degrades readiness; older than
+	// the liveness factor kills.
+	m.SLO.lastAdvance.Store(time.Now().Add(-2 * time.Hour).UnixNano())
+	m.Tick()
+	if got := m.Health.State(); got != StateDegraded {
+		t.Fatalf("stale heartbeat = %v, want degraded", got)
+	}
+	m.SLO.lastAdvance.Store(time.Now().Add(-4 * time.Hour).UnixNano())
+	m.Tick()
+	if got := m.Health.State(); got != StateUnhealthy {
+		t.Fatalf("stalled heartbeat = %v, want unhealthy", got)
+	}
+	m.SLO.ObserveAdvance(time.Now())
+	m.Tick()
+	if got := m.Health.State(); got != StateReady {
+		t.Fatalf("fresh heartbeat = %v, want ready", got)
+	}
+}
+
+func TestMonitorStartStop(t *testing.T) {
+	m := New(Options{SampleInterval: time.Millisecond}, nil)
+	var src atomic.Int64
+	if err := m.History.Register("x", SeriesCounter, src.Load); err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	m.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for m.History.Samples() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sampler goroutine took no samples")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Stop()
+	m.Stop() // idempotent
+	n := m.History.Samples()
+	time.Sleep(5 * time.Millisecond)
+	if m.History.Samples() != n {
+		t.Fatal("sampler kept running after Stop")
+	}
+	if got := m.Health.State(); got == StateStarting {
+		t.Fatal("watchdog never evaluated")
+	}
+}
+
+// TestMonitorTickNoAllocs pins the full monitoring cycle — history
+// sample, SLO breach check, health evaluation — at zero allocations in
+// steady state. BenchmarkSamplerTick gates the same property in CI.
+func TestMonitorTickNoAllocs(t *testing.T) {
+	m, srcs := benchMonitor()
+	m.Tick() // settle starting → ready so no transition callbacks fire
+	n := testing.AllocsPerRun(500, func() {
+		for i := range srcs {
+			srcs[i].Add(1)
+		}
+		m.SLO.ObserveDispatch(0, false)
+		m.Tick()
+	})
+	if n != 0 {
+		t.Fatalf("Tick allocates %v times per run, want 0", n)
+	}
+}
+
+// benchMonitor builds a monitor shaped like the engine wires it: a dozen
+// registered series, SLO traffic, and a few health checks.
+func benchMonitor() (*Monitor, *[12]atomic.Int64) {
+	m := New(Options{LagThresholdTicks: 1 << 20, StallAfter: time.Hour}, nil)
+	var srcs [12]atomic.Int64
+	names := [12]string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	for i := range srcs {
+		kind := SeriesCounter
+		if i%3 == 2 {
+			kind = SeriesGauge
+		}
+		if err := m.History.Register(names[i], kind, srcs[i].Load); err != nil {
+			panic(err)
+		}
+	}
+	m.Health.AddCheck("wal", SevLiveness, func() error { return nil })
+	m.Health.AddCheck("recovery", SevReadiness, func() error { return nil })
+	m.SLO.ObserveAdvance(time.Now())
+	for i := 0; i < 64; i++ {
+		m.SLO.ObserveDispatch(int64(i%3), false)
+	}
+	return m, &srcs
+}
+
+// BenchmarkSamplerTick is the CI allocation gate for the monitoring
+// cycle: allocs/op must stay 0.
+func BenchmarkSamplerTick(b *testing.B) {
+	m, srcs := benchMonitor()
+	m.Tick()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srcs[i%len(srcs)].Add(1)
+		m.SLO.ObserveDispatch(0, false)
+		m.Tick()
+	}
+}

@@ -1,0 +1,520 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"expdb/internal/metrics"
+)
+
+// This file is the hand-rolled Prometheus text-format (version 0.0.4)
+// writer and its grammar linter. No client library: the exposition
+// format is a dozen grammar rules, and owning the writer keeps the
+// dependency footprint at zero while the linter (run in CI) keeps the
+// output honest — names well-formed, TYPE before samples, families
+// contiguous and unique, histogram buckets cumulative and closed by
+// le="+Inf".
+
+// Label is one key="value" pair on a sample.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// PromWriter emits Prometheus text exposition. Families must be written
+// contiguously: all samples of one metric name (with whatever labels)
+// before moving to the next. The first sample of a family emits its
+// # HELP and # TYPE header; violating contiguity, reusing a family with
+// a different type, or using a malformed name sets a sticky error and
+// suppresses further output.
+type PromWriter struct {
+	w     io.Writer
+	err   error
+	types map[string]string
+	last  string // family currently being written
+}
+
+// NewPromWriter returns a writer emitting to w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, types: make(map[string]string)}
+}
+
+// Err returns the first grammar or I/O error encountered.
+func (p *PromWriter) Err() error { return p.err }
+
+// Counter writes one counter sample (labels may be nil).
+func (p *PromWriter) Counter(name, help string, labels []Label, v int64) {
+	if !p.begin(name, "counter", help) {
+		return
+	}
+	p.sample(name, labels, "", strconv.FormatInt(v, 10))
+}
+
+// Gauge writes one gauge sample (labels may be nil).
+func (p *PromWriter) Gauge(name, help string, labels []Label, v int64) {
+	if !p.begin(name, "gauge", help) {
+		return
+	}
+	p.sample(name, labels, "", strconv.FormatInt(v, 10))
+}
+
+// GaugeFloat writes one gauge sample with a floating-point value.
+func (p *PromWriter) GaugeFloat(name, help string, labels []Label, v float64) {
+	if !p.begin(name, "gauge", help) {
+		return
+	}
+	p.sample(name, labels, "", strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// Histogram writes one histogram series from a snapshot: cumulative
+// _bucket samples per occupied power-of-two boundary, closed by
+// le="+Inf", then _sum and _count. Call repeatedly with different
+// labels (contiguously) for a labelled histogram family.
+func (p *PromWriter) Histogram(name, help string, labels []Label, s metrics.HistogramSnapshot) {
+	if !p.begin(name, "histogram", help) {
+		return
+	}
+	cum := int64(0)
+	for _, b := range s.Buckets {
+		cum += b.Count
+		p.sample(name+"_bucket", labels, strconv.FormatInt(b.Le, 10), strconv.FormatInt(cum, 10))
+	}
+	// Snapshots may tear between buckets and count; never let +Inf dip
+	// below the cumulative sum or the exposition stops being a valid
+	// histogram.
+	inf := s.Count
+	if cum > inf {
+		inf = cum
+	}
+	p.sample(name+"_bucket", labels, "+Inf", strconv.FormatInt(inf, 10))
+	p.sample(name+"_sum", labels, "", strconv.FormatInt(s.Sum, 10))
+	p.sample(name+"_count", labels, "", strconv.FormatInt(inf, 10))
+}
+
+// begin opens (or continues) a family, emitting the header on first use.
+func (p *PromWriter) begin(name, typ, help string) bool {
+	if p.err != nil {
+		return false
+	}
+	if !validMetricName(name) {
+		p.err = fmt.Errorf("prom: invalid metric name %q", name)
+		return false
+	}
+	if prev, ok := p.types[name]; ok {
+		if prev != typ {
+			p.err = fmt.Errorf("prom: family %s re-registered as %s (was %s)", name, typ, prev)
+			return false
+		}
+		if p.last != name {
+			p.err = fmt.Errorf("prom: family %s written non-contiguously", name)
+			return false
+		}
+		return true
+	}
+	p.types[name] = typ
+	p.last = name
+	_, err := fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+	if err != nil {
+		p.err = err
+		return false
+	}
+	return true
+}
+
+// sample writes one sample line; le, when non-empty, is appended as the
+// trailing bucket label.
+func (p *PromWriter) sample(name string, labels []Label, le, value string) {
+	if p.err != nil {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 || le != "" {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if !validLabelName(l.Key) {
+				p.err = fmt.Errorf("prom: invalid label name %q on %s", l.Key, name)
+				return
+			}
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.Key)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(l.Value))
+			sb.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(`le="`)
+			sb.WriteString(le)
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(value)
+	sb.WriteByte('\n')
+	if _, err := io.WriteString(p.w, sb.String()); err != nil {
+		p.err = err
+	}
+}
+
+// validMetricName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes HELP text per the exposition format.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// LintExposition validates a Prometheus text exposition against the
+// grammar rules a scraper cares about:
+//
+//   - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, label names
+//     [a-zA-Z_][a-zA-Z0-9_]*
+//   - every sample belongs to a family with a preceding # TYPE line of a
+//     known type, declared exactly once
+//   - all samples of a family are contiguous, with no duplicate series
+//     (same name and label set twice)
+//   - histogram series have strictly increasing le boundaries,
+//     non-decreasing cumulative bucket counts, a closing le="+Inf"
+//     bucket, and a _count equal to the +Inf bucket
+//
+// It is exported so tests in other packages (and CI) can lint the full
+// exposition the facade serves.
+func LintExposition(data []byte) error {
+	type family struct {
+		typ    string
+		closed bool
+	}
+	fams := make(map[string]*family)
+	cur := ""
+	seenSeries := make(map[string]bool)
+	type histSeries struct {
+		prevLe    float64
+		prevCount float64
+		haveProto bool // at least one bucket seen
+		infCount  float64
+		infSeen   bool
+		countVal  float64
+		countSeen bool
+	}
+	hists := make(map[string]*histSeries)
+	histOrder := []string{}
+
+	enter := func(name string, lineNo int) (*family, error) {
+		f := fams[name]
+		if f == nil {
+			return nil, fmt.Errorf("line %d: sample for %s without a preceding # TYPE", lineNo, name)
+		}
+		if name != cur {
+			if f.closed {
+				return nil, fmt.Errorf("line %d: family %s not contiguous", lineNo, name)
+			}
+			if cur != "" {
+				fams[cur].closed = true
+			}
+			cur = name
+		}
+		return f, nil
+	}
+
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				// Free-form comment: legal, ignored.
+				continue
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line", lineNo)
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q for %s", lineNo, typ, name)
+				}
+				if f := fams[name]; f != nil {
+					return fmt.Errorf("line %d: duplicate TYPE for family %s", lineNo, name)
+				}
+				if cur != "" && cur != name {
+					fams[cur].closed = true
+				}
+				fams[name] = &family{typ: typ}
+				cur = name
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		for _, l := range labels {
+			if !validLabelName(l.Key) {
+				return fmt.Errorf("line %d: invalid label name %q", lineNo, l.Key)
+			}
+		}
+
+		// Resolve the sample's family: histogram children first.
+		famName := name
+		role := "plain"
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name {
+				if f := fams[base]; f != nil && f.typ == "histogram" {
+					famName = base
+					role = suffix
+					break
+				}
+			}
+		}
+		f, err := enter(famName, lineNo)
+		if err != nil {
+			return err
+		}
+		if f.typ == "histogram" && role == "plain" {
+			return fmt.Errorf("line %d: bare sample %s in histogram family", lineNo, name)
+		}
+
+		seriesKey := name + "{" + labelKey(labels, true) + "}"
+		if seenSeries[seriesKey] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, seriesKey)
+		}
+		seenSeries[seriesKey] = true
+
+		if f.typ != "histogram" {
+			continue
+		}
+		// Histogram bookkeeping, keyed by the series identity minus le.
+		hk := famName + "{" + labelKey(labels, false) + "}"
+		hs := hists[hk]
+		if hs == nil {
+			hs = &histSeries{}
+			hists[hk] = hs
+			histOrder = append(histOrder, hk)
+		}
+		switch role {
+		case "_bucket":
+			le, ok := findLabel(labels, "le")
+			if !ok {
+				return fmt.Errorf("line %d: bucket sample without le label", lineNo)
+			}
+			if hs.infSeen {
+				return fmt.Errorf("line %d: bucket after le=\"+Inf\" in %s", lineNo, hk)
+			}
+			if le == "+Inf" {
+				hs.infSeen = true
+				hs.infCount = value
+				if hs.haveProto && value < hs.prevCount {
+					return fmt.Errorf("line %d: +Inf bucket count %v below previous %v in %s", lineNo, value, hs.prevCount, hk)
+				}
+				continue
+			}
+			lv, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: unparseable le %q", lineNo, le)
+			}
+			if hs.haveProto {
+				if lv <= hs.prevLe {
+					return fmt.Errorf("line %d: le %v not increasing (previous %v) in %s", lineNo, lv, hs.prevLe, hk)
+				}
+				if value < hs.prevCount {
+					return fmt.Errorf("line %d: cumulative bucket count %v decreased (previous %v) in %s", lineNo, value, hs.prevCount, hk)
+				}
+			}
+			hs.haveProto = true
+			hs.prevLe, hs.prevCount = lv, value
+		case "_count":
+			hs.countVal, hs.countSeen = value, true
+		}
+	}
+
+	for _, hk := range histOrder {
+		hs := hists[hk]
+		if !hs.infSeen {
+			return fmt.Errorf("histogram %s missing le=\"+Inf\" bucket", hk)
+		}
+		if !hs.countSeen {
+			return fmt.Errorf("histogram %s missing _count sample", hk)
+		}
+		if hs.countVal != hs.infCount {
+			return fmt.Errorf("histogram %s _count %v != +Inf bucket %v", hk, hs.countVal, hs.infCount)
+		}
+	}
+	return nil
+}
+
+// parseSampleLine splits `name{labels} value [timestamp]`.
+func parseSampleLine(line string) (name string, labels []Label, value float64, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name = line[:i]
+	if name == "" {
+		return "", nil, 0, fmt.Errorf("missing metric name")
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " \t")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed label block")
+			}
+			key := strings.TrimSpace(rest[:eq])
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return "", nil, 0, fmt.Errorf("label value for %s not quoted", key)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			closed := false
+			for len(rest) > 0 {
+				c := rest[0]
+				if c == '\\' && len(rest) > 1 {
+					switch rest[1] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(rest[1])
+					}
+					rest = rest[2:]
+					continue
+				}
+				rest = rest[1:]
+				if c == '"' {
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				return "", nil, 0, fmt.Errorf("unterminated label value for %s", key)
+			}
+			labels = append(labels, Label{Key: key, Value: val.String()})
+			rest = strings.TrimLeft(rest, " \t")
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			}
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("expected value (and optional timestamp), got %q", rest)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("unparseable timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// labelKey canonicalises a label set for identity checks; withLe keeps
+// the le label (series identity) or drops it (histogram identity).
+func labelKey(labels []Label, withLe bool) string {
+	var parts []string
+	for _, l := range labels {
+		if !withLe && l.Key == "le" {
+			continue
+		}
+		parts = append(parts, l.Key+"="+l.Value)
+	}
+	// Insertion sort: label blocks are tiny.
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// findLabel returns the value of key in labels.
+func findLabel(labels []Label, key string) (string, bool) {
+	for _, l := range labels {
+		if l.Key == key {
+			return l.Value, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,154 @@
+package monitor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"expdb/internal/metrics"
+)
+
+func TestPromWriterRoundTrip(t *testing.T) {
+	var h metrics.Histogram
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	w := NewPromWriter(&buf)
+	w.Counter("expdb_inserts_total", "Tuples inserted.", nil, 42)
+	w.Counter("expdb_expirations_total", "Tuples expired.",
+		[]Label{{Key: "mode", Value: "eager"}}, 10)
+	w.Counter("expdb_expirations_total", "Tuples expired.",
+		[]Label{{Key: "mode", Value: "lazy"}}, 3)
+	w.Gauge("expdb_scheduler_depth", "Pending expiry events.", nil, 7)
+	w.Histogram("expdb_dispatch_lag_ticks", "Expiry dispatch lag.", nil, h.Snapshot())
+	w.GaugeFloat("expdb_lag_mean", "Mean lag.", nil, 1.5)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if err := LintExposition(out); err != nil {
+		t.Fatalf("own output fails lint: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"# TYPE expdb_inserts_total counter",
+		"expdb_inserts_total 42",
+		`expdb_expirations_total{mode="eager"} 10`,
+		"# TYPE expdb_dispatch_lag_ticks histogram",
+		`expdb_dispatch_lag_ticks_bucket{le="+Inf"} 5`,
+		"expdb_dispatch_lag_ticks_sum 1106",
+		"expdb_dispatch_lag_ticks_count 5",
+		"expdb_lag_mean 1.5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestPromWriterLabeledHistogram(t *testing.T) {
+	var steady, catchup metrics.Histogram
+	steady.Observe(0)
+	catchup.Observe(500)
+	var buf bytes.Buffer
+	w := NewPromWriter(&buf)
+	w.Histogram("expdb_lag_ticks", "Lag.", []Label{{Key: "phase", Value: "steady"}}, steady.Snapshot())
+	w.Histogram("expdb_lag_ticks", "Lag.", []Label{{Key: "phase", Value: "catchup"}}, catchup.Snapshot())
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintExposition(buf.Bytes()); err != nil {
+		t.Fatalf("labelled histogram fails lint: %v\n%s", err, buf.String())
+	}
+	if got := strings.Count(buf.String(), "# TYPE expdb_lag_ticks histogram"); got != 1 {
+		t.Fatalf("TYPE emitted %d times, want once", got)
+	}
+}
+
+func TestPromWriterErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewPromWriter(&buf)
+	w.Counter("a_total", "", nil, 1)
+	w.Gauge("b", "", nil, 2)
+	w.Counter("a_total", "", nil, 3) // family reopened
+	if w.Err() == nil {
+		t.Fatal("non-contiguous family not rejected")
+	}
+
+	w = NewPromWriter(&buf)
+	w.Counter("x", "", nil, 1)
+	w.Gauge("x", "", nil, 2) // type conflict
+	if w.Err() == nil {
+		t.Fatal("type conflict not rejected")
+	}
+
+	w = NewPromWriter(&buf)
+	w.Counter("9bad", "", nil, 1)
+	if w.Err() == nil {
+		t.Fatal("bad metric name not rejected")
+	}
+
+	w = NewPromWriter(&buf)
+	w.Counter("ok", "", []Label{{Key: "bad-key", Value: "v"}}, 1)
+	if w.Err() == nil {
+		t.Fatal("bad label name not rejected")
+	}
+}
+
+func TestPromWriterEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewPromWriter(&buf)
+	w.Counter("esc_total", "help with \\ and\nnewline",
+		[]Label{{Key: "v", Value: "a\"b\\c\nd"}}, 1)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintExposition(buf.Bytes()); err != nil {
+		t.Fatalf("escaped output fails lint: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), `v="a\"b\\c\nd"`) {
+		t.Fatalf("label not escaped:\n%s", buf.String())
+	}
+}
+
+func TestLintRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"sample without TYPE", "loose_metric 1\n"},
+		{"duplicate TYPE", "# TYPE a counter\na 1\n# TYPE a counter\n"},
+		{"unknown type", "# TYPE a widget\na 1\n"},
+		{"bad metric name", "# TYPE 9a counter\n9a 1\n"},
+		{"bad label name", "# TYPE a counter\na{9k=\"v\"} 1\n"},
+		{"non-contiguous family", "# TYPE a counter\na{l=\"1\"} 1\n# TYPE b counter\nb 1\na{l=\"2\"} 2\n"},
+		{"duplicate series", "# TYPE a counter\na{l=\"1\"} 1\na{l=\"1\"} 2\n"},
+		{"unparseable value", "# TYPE a counter\na pizza\n"},
+		{"bare sample in histogram", "# TYPE h histogram\nh 5\n"},
+		{"bucket without le", "# TYPE h histogram\nh_bucket 5\n"},
+		{"decreasing cumulative count", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n"},
+		{"non-increasing le", "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 4\nh_count 2\n"},
+		{"missing +Inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"count != +Inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n"},
+		{"missing _count", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n"},
+	}
+	for _, c := range cases {
+		if err := LintExposition([]byte(c.in)); err == nil {
+			t.Errorf("%s: lint accepted\n%s", c.name, c.in)
+		}
+	}
+}
+
+func TestLintAccepts(t *testing.T) {
+	good := "# random comment\n" +
+		"# HELP a Things.\n# TYPE a counter\na 1\n" +
+		"# TYPE g gauge\ng{x=\"1\"} 2\ng{x=\"2\"} 3\n" +
+		"# TYPE h histogram\n" +
+		"h_bucket{le=\"1\"} 1\nh_bucket{le=\"4\"} 2\nh_bucket{le=\"+Inf\"} 3\n" +
+		"h_sum 12\nh_count 3\n" +
+		"# TYPE ts counter\nts 5 1700000000000\n"
+	if err := LintExposition([]byte(good)); err != nil {
+		t.Fatalf("lint rejected valid exposition: %v", err)
+	}
+}

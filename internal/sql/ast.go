@@ -187,11 +187,14 @@ type SetPolicy struct{ Policy string }
 
 func (*SetPolicy) stmt() {}
 
-// Show is SHOW TABLES | VIEWS | TIME | STATS | METRICS | EVENTS | TRACES.
+// Show is SHOW TABLES | VIEWS | TIME | STATS | METRICS | EVENTS | TRACES
+// | HISTORY | HEALTH.
 type Show struct {
 	What string
-	// Limit bounds SHOW EVENTS to the most recent n events (0 = all
-	// retained).
+	// Metric narrows SHOW HISTORY to one series ("" = all registered).
+	Metric string
+	// Limit bounds SHOW EVENTS / SHOW HISTORY to the most recent n
+	// entries (0 = all retained).
 	Limit int
 }
 

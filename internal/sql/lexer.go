@@ -58,6 +58,7 @@ var keywords = map[string]bool{
 	"REFRESH": true, "EXPLAIN": true, "VALIDITY": true,
 	"ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
 	"ANALYZE": true, "EVENTS": true, "TRACES": true, "CACHE": true,
+	"HISTORY": true, "HEALTH": true,
 }
 
 // lex tokenises input, reporting the first malformed lexeme as an error.

@@ -155,10 +155,13 @@ func (p *parser) statement() (Statement, error) {
 		}
 		return &SetPolicy{Policy: name}, nil
 	case p.accept(tokKeyword, "SHOW"):
-		for _, what := range []string{"TABLES", "VIEWS", "TIME", "STATS", "METRICS", "CACHE", "EVENTS", "TRACES"} {
+		for _, what := range []string{"TABLES", "VIEWS", "TIME", "STATS", "METRICS", "CACHE", "EVENTS", "TRACES", "HISTORY", "HEALTH"} {
 			if p.accept(tokKeyword, what) {
 				show := &Show{What: what}
-				if what == "EVENTS" && p.accept(tokKeyword, "LIMIT") {
+				if what == "HISTORY" && p.at(tokIdent, "") {
+					show.Metric = p.next().text
+				}
+				if (what == "EVENTS" || what == "HISTORY") && p.accept(tokKeyword, "LIMIT") {
 					n, err := p.expect(tokInt, "")
 					if err != nil {
 						return nil, err
@@ -172,7 +175,7 @@ func (p *parser) statement() (Statement, error) {
 				return show, nil
 			}
 		}
-		return nil, fmt.Errorf("sql: SHOW expects TABLES, VIEWS, TIME, STATS, METRICS, CACHE, EVENTS or TRACES, got %s", p.peek())
+		return nil, fmt.Errorf("sql: SHOW expects TABLES, VIEWS, TIME, STATS, METRICS, CACHE, EVENTS, TRACES, HISTORY or HEALTH, got %s", p.peek())
 	case p.accept(tokKeyword, "REFRESH"):
 		if _, err := p.expect(tokKeyword, "VIEW"); err != nil {
 			return nil, err

@@ -11,6 +11,7 @@ import (
 	"expdb/internal/algebra"
 	"expdb/internal/engine"
 	"expdb/internal/interval"
+	"expdb/internal/monitor"
 	"expdb/internal/relation"
 	"expdb/internal/trace"
 	"expdb/internal/tuple"
@@ -497,6 +498,35 @@ func (s *Session) execShow(st *Show) (*Result, error) {
 			lines = append(lines, fmt.Sprintf("(%d older events dropped by the ring buffer)", d))
 		}
 		return &Result{Msg: strings.Join(lines, "\n"), At: s.eng.Now()}, nil
+	case "HISTORY":
+		mon := s.eng.Monitor()
+		if mon == nil {
+			return nil, fmt.Errorf("sql: SHOW HISTORY: monitoring disabled (open with engine.WithMonitor)")
+		}
+		snap := mon.History.Snapshot(st.Metric, st.Limit)
+		if st.Metric != "" && len(snap.Series) == 0 {
+			return nil, fmt.Errorf("sql: SHOW HISTORY: unknown metric %q (known: %s)",
+				st.Metric, strings.Join(mon.History.SeriesNames(), ", "))
+		}
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Msg: string(buf), At: s.eng.Now()}, nil
+	case "HEALTH":
+		mon := s.eng.Monitor()
+		if mon == nil {
+			return nil, fmt.Errorf("sql: SHOW HEALTH: monitoring disabled (open with engine.WithMonitor)")
+		}
+		body := struct {
+			Health monitor.HealthSnapshot `json:"health"`
+			SLO    monitor.SLOSnapshot    `json:"slo"`
+		}{mon.Health.Snapshot(), mon.SLO.Snapshot()}
+		buf, err := json.MarshalIndent(body, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Msg: string(buf), At: s.eng.Now()}, nil
 	case "TRACES":
 		traces := s.eng.Traces().Snapshot()
 		if len(traces) == 0 {

@@ -75,6 +75,15 @@ const (
 	// EvCacheInvalidate: result-cache entries were dropped because the
 	// clock reached their ValidUntil (Count carries how many).
 	EvCacheInvalidate
+	// EvHealthChange: the watchdog moved the process between health
+	// states (Name carries the check that caused the transition, Count
+	// the numeric new state: 0 starting, 1 ready, 2 degraded,
+	// 3 unhealthy).
+	EvHealthChange
+	// EvSLOBreach: the expiration-lag SLO stayed breached for the
+	// configured number of consecutive watchdog evaluations (Count
+	// carries the p99 dispatch lag in ticks at the moment of the flip).
+	EvSLOBreach
 )
 
 var eventKindNames = [...]string{
@@ -99,6 +108,8 @@ var eventKindNames = [...]string{
 	EvCacheHit:        "cache-hit",
 	EvCacheMiss:       "cache-miss",
 	EvCacheInvalidate: "cache-invalidate",
+	EvHealthChange:    "health-change",
+	EvSLOBreach:       "slo-breach",
 }
 
 // String names the kind.
@@ -212,6 +223,30 @@ func (l *Log) dropped() uint64 {
 		return l.next - cap
 	}
 	return 0
+}
+
+// Capacity returns the ring's fixed size. Nil-safe.
+func (l *Log) Capacity() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.ring)
+}
+
+// HighWater returns the most events the ring has ever held at once —
+// monotone, saturating at Capacity. A high-water at capacity alongside a
+// non-zero Dropped tells an operator the retention window is too small
+// for the event rate. Nil-safe.
+func (l *Log) HighWater() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cap := uint64(len(l.ring)); l.next > cap {
+		return cap
+	}
+	return l.next
 }
 
 // Snapshot returns the retained events oldest-first. A positive limit

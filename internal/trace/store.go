@@ -67,6 +67,41 @@ func (s *Store) Total() uint64 {
 	return s.next
 }
 
+// Capacity returns the ring's fixed size. Nil-safe.
+func (s *Store) Capacity() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.ring)
+}
+
+// Dropped returns how many traces have been overwritten by wraparound.
+func (s *Store) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cap := uint64(len(s.ring)); s.next > cap {
+		return s.next - cap
+	}
+	return 0
+}
+
+// HighWater returns the most traces the ring has ever held at once —
+// monotone, saturating at Capacity. Nil-safe.
+func (s *Store) HighWater() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cap := uint64(len(s.ring)); s.next > cap {
+		return cap
+	}
+	return s.next
+}
+
 // Snapshot returns the retained traces oldest-first.
 func (s *Store) Snapshot() []Trace {
 	if s == nil {

@@ -173,6 +173,29 @@ type Stats struct {
 	BudgetEvictions int
 }
 
+// AggMetrics aggregates maintenance counters across every view that
+// shares it (the engine passes one instance to all views it creates).
+// Unlike the per-view Stats — plain ints guarded by the view lock — these
+// are atomic, so a monitoring sampler can read the fleet-wide totals
+// every tick without touching any view lock.
+type AggMetrics struct {
+	Reads           metrics.Counter
+	ServedFromMat   metrics.Counter
+	Recomputations  metrics.Counter
+	PatchesApplied  metrics.Counter
+	Moved           metrics.Counter
+	BudgetEvictions metrics.Counter
+}
+
+// WithAggregate mirrors the view's counters into agg (shared across
+// views; nil disables).
+func WithAggregate(agg *AggMetrics) Option {
+	return func(v *View) error {
+		v.agg = agg
+		return nil
+	}
+}
+
 // patch is one pending Theorem 3 insertion.
 type patch struct {
 	tuple tuple.Tuple
@@ -200,6 +223,7 @@ type View struct {
 	queue    *pqueue.Queue[patch]
 	budget   int // max queued patches; 0 = unlimited (§3.4.2 trade-off)
 	stats    Stats
+	agg      *AggMetrics // shared cross-view totals (nil = none)
 	// recomputeNanos is the latency distribution of read-triggered full
 	// recomputations — the work the expiration metadata exists to avoid.
 	recomputeNanos metrics.Histogram
@@ -326,6 +350,9 @@ func (v *View) Materialize(tau xtime.Time) error {
 			sort.Slice(crit, func(i, j int) bool { return crit[i].InS < crit[j].InS })
 			v.texp = xtime.Min(v.texp, crit[v.budget].InS)
 			v.stats.BudgetEvictions += len(crit) - v.budget
+			if v.agg != nil {
+				v.agg.BudgetEvictions.Add(int64(len(crit) - v.budget))
+			}
 			crit = crit[:v.budget]
 		}
 		v.queue = pqueue.New[patch](len(crit))
@@ -390,6 +417,9 @@ func (v *View) applyPatches(tau xtime.Time) int {
 		applied++
 	}
 	v.stats.PatchesApplied += applied
+	if v.agg != nil && applied > 0 {
+		v.agg.PatchesApplied.Add(int64(applied))
+	}
 	return applied
 }
 
@@ -434,6 +464,9 @@ func (v *View) read(tau xtime.Time) (*relation.Relation, ReadInfo, error) {
 		return nil, ReadInfo{}, fmt.Errorf("view %s: not materialised", v.name)
 	}
 	v.stats.Reads++
+	if v.agg != nil {
+		v.agg.Reads.Inc()
+	}
 	info := ReadInfo{At: tau, PatchesApplied: v.applyPatches(tau)}
 	// Every outcome serves a zero-copy shared snapshot: the caller gets an
 	// immutable O(1) view of the materialisation (lazy alive-at-τ filter);
@@ -441,6 +474,9 @@ func (v *View) read(tau xtime.Time) (*relation.Relation, ReadInfo, error) {
 	// — detaches it without disturbing escaped handles.
 	if v.valid(tau) {
 		v.stats.ServedFromMat++
+		if v.agg != nil {
+			v.agg.ServedFromMat.Inc()
+		}
 		info.Source = SourceMaterialised
 		return v.mat.SnapshotShared(tau), info, nil
 	}
@@ -450,12 +486,18 @@ func (v *View) read(tau xtime.Time) (*relation.Relation, ReadInfo, error) {
 	case RecoverBackward:
 		if at, ok := v.validity.PrevIn(tau); ok && at >= v.matAt {
 			v.stats.Moved++
+			if v.agg != nil {
+				v.agg.Moved.Inc()
+			}
 			info.Source, info.At = SourceMovedBackward, at
 			return v.mat.SnapshotShared(at), info, nil
 		}
 	case RecoverForward:
 		if at, ok := v.validity.NextIn(tau); ok {
 			v.stats.Moved++
+			if v.agg != nil {
+				v.agg.Moved.Inc()
+			}
 			info.Source, info.At = SourceMovedForward, at
 			return v.mat.SnapshotShared(at), info, nil
 		}
@@ -468,6 +510,9 @@ func (v *View) read(tau xtime.Time) (*relation.Relation, ReadInfo, error) {
 	}
 	v.recomputeNanos.Observe(time.Since(start).Nanoseconds())
 	v.stats.Recomputations++
+	if v.agg != nil {
+		v.agg.Recomputations.Inc()
+	}
 	info.Source = SourceRecomputed
 	return v.mat.SnapshotShared(tau), info, nil
 }

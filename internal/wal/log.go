@@ -1,13 +1,38 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"expdb/internal/metrics"
 )
+
+// ErrClosed is the sticky error of a cleanly closed log, distinct from a
+// poisoning I/O failure so health checks can tell shutdown from damage.
+var ErrClosed = errors.New("wal: log closed")
+
+// Metrics counts the log's work since Open: append and flush volume,
+// fsync count and latency, and segment rotations. All fields are atomic
+// and safe to read while the log is in use; the monitor's history
+// sampler reads them lock-free every tick.
+type Metrics struct {
+	// Appends counts records accepted by Append.
+	Appends metrics.Counter
+	// AppendedBytes counts encoded record bytes buffered by Append.
+	AppendedBytes metrics.Counter
+	// Syncs counts completed fsyncs (each one covers a group commit).
+	Syncs metrics.Counter
+	// SyncNanos accumulates wall time spent in write+fsync.
+	SyncNanos metrics.Counter
+	// Rotations counts segment rotations.
+	Rotations metrics.Counter
+}
 
 // Log is an append-only write-ahead log over a directory of segments.
 //
@@ -44,6 +69,8 @@ type Log struct {
 	syncMu  sync.Mutex
 	durable atomic.Uint64
 	spare   []byte // recycled flush buffer
+
+	stats Metrics
 }
 
 func segmentName(gen uint64) string  { return fmt.Sprintf("wal-%08d.log", gen) }
@@ -83,6 +110,26 @@ func (l *Log) Seq() uint64 {
 	return l.seq
 }
 
+// Err returns the log's sticky error: nil while healthy, ErrClosed after
+// a clean Close, or the poisoning write/fsync failure. The watchdog's
+// WAL liveness check reads this every evaluation.
+func (l *Log) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Metrics returns the log's live counters.
+func (l *Log) Metrics() *Metrics {
+	if l == nil {
+		return nil
+	}
+	return &l.stats
+}
+
 // Append encodes rec into the pending buffer and returns its sequence
 // number. The record is fully copied during the call; it is durable only
 // once Sync covers the returned sequence number. Callers that need a
@@ -95,8 +142,11 @@ func (l *Log) Append(rec *Record) (uint64, error) {
 	if l.err != nil {
 		return 0, l.err
 	}
+	before := len(l.buf)
 	l.buf = appendRecord(l.buf, rec)
 	l.seq++
+	l.stats.Appends.Inc()
+	l.stats.AppendedBytes.Add(int64(len(l.buf) - before))
 	return l.seq, nil
 }
 
@@ -137,10 +187,15 @@ func (l *Log) flushLocked() error {
 
 	var err error
 	if len(buf) > 0 {
+		start := time.Now()
 		if _, werr := f.Write(buf); werr != nil {
 			err = werr
 		} else if serr := f.Sync(); serr != nil {
 			err = serr
+		}
+		if err == nil {
+			l.stats.Syncs.Inc()
+			l.stats.SyncNanos.Add(time.Since(start).Nanoseconds())
 		}
 	}
 	l.mu.Lock()
@@ -181,6 +236,7 @@ func (l *Log) Rotate() (uint64, error) {
 		return 0, err
 	}
 	l.gen, l.f, l.size = gen, f, 0
+	l.stats.Rotations.Inc()
 	return gen, nil
 }
 
@@ -196,7 +252,7 @@ func (l *Log) Close() error {
 		err = cerr
 	}
 	if l.err == nil {
-		l.err = fmt.Errorf("wal: log closed")
+		l.err = ErrClosed
 	}
 	return err
 }

@@ -374,3 +374,51 @@ func TestSnapshotTornWriteIgnored(t *testing.T) {
 		t.Fatalf("expected fallback to gen 1, got gen %d %+v", rec.SnapshotGen, rec.Snapshot)
 	}
 }
+
+func TestLogMetricsAndErr(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Err() != nil {
+		t.Fatalf("fresh log Err = %v, want nil", l.Err())
+	}
+	rec := Record{Kind: KindAdvance, Texp: 1}
+	seq, err := l.Append(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(seq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	m := l.Metrics()
+	if got := m.Appends.Load(); got != 1 {
+		t.Fatalf("appends = %d, want 1", got)
+	}
+	if m.AppendedBytes.Load() <= 0 {
+		t.Fatal("appended bytes not counted")
+	}
+	if got := m.Syncs.Load(); got != 1 {
+		t.Fatalf("syncs = %d, want 1 (rotate flush had nothing pending)", got)
+	}
+	if m.SyncNanos.Load() <= 0 {
+		t.Fatal("sync time not counted")
+	}
+	if got := m.Rotations.Load(); got != 1 {
+		t.Fatalf("rotations = %d, want 1", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(l.Err(), ErrClosed) {
+		t.Fatalf("closed log Err = %v, want ErrClosed", l.Err())
+	}
+	var nilLog *Log
+	if nilLog.Err() != nil || nilLog.Metrics() != nil {
+		t.Fatal("nil log should be inert")
+	}
+}
