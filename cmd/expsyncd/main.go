@@ -58,6 +58,8 @@ func main() {
 	drain := flag.Duration("drain", 5*time.Second, "server: how long shutdown waits for in-flight requests")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "client: per-round-trip deadline")
 	dataDir := flag.String("data-dir", "", "server: durable data directory (WAL + snapshots); state is recovered on boot and checkpointed on shutdown")
+	diskBackoff := flag.Duration("disk-retry-backoff", 250*time.Millisecond, "server: initial interval between background disk-recovery attempts while degraded (doubles per failure, capped at 32x)")
+	faultFsync := flag.Int("fault-fsync", 0, "server: TESTING — inject one fsync failure after N successful syncs, exercising degraded mode and recovery")
 	cacheSize := flag.Int("result-cache", expdb.DefaultResultCacheSize, "server: validity-interval result cache capacity (0 disables); hit/miss counters surface under result_cache on /metrics")
 	logFormat := flag.String("log-format", "text", "diagnostic log format on stderr: text or json")
 	sampleInterval := flag.Duration("sample-interval", time.Second, "server: monitoring sampler tick (history snapshots + watchdog)")
@@ -89,6 +91,7 @@ func main() {
 		runServer(ctx, logger, serverConfig{
 			addr: *serve, metricsAddr: *metricsAddr, dataDir: *dataDir,
 			ticks: *ticks, cacheSize: *cacheSize, monitor: mon,
+			diskBackoff: *diskBackoff, faultFsync: *faultFsync,
 			wire: serverOptions(*idleTimeout, *maxConns, *maxMsg, *drain),
 		})
 	case *connect != "":
@@ -125,6 +128,8 @@ type serverConfig struct {
 	addr, metricsAddr, dataDir string
 	ticks, cacheSize           int
 	monitor                    expdb.MonitorOptions
+	diskBackoff                time.Duration
+	faultFsync                 int
 	wire                       []expdb.WireServerOption
 }
 
@@ -160,8 +165,21 @@ func serveMetrics(addr string, db *expdb.DB, logger *slog.Logger) *http.Server {
 func runServer(ctx context.Context, logger *slog.Logger, cfg serverConfig) {
 	var db *expdb.DB
 	if cfg.dataDir != "" {
+		opts := []expdb.EngineOption{
+			expdb.WithMonitor(cfg.monitor),
+			expdb.WithDiskRetryBackoff(cfg.diskBackoff),
+		}
+		if cfg.faultFsync > 0 {
+			// Scripted one-shot fsync failure: the daemon degrades to
+			// read-only when it fires, then background recovery brings it
+			// back — the smoke test watches /readyz do exactly that.
+			ffs := expdb.NewFaultFS(expdb.OSFS())
+			ffs.FailSyncs(cfg.faultFsync, 1, syscall.EIO)
+			opts = append(opts, expdb.WithVFS(ffs))
+			logger.Warn("fault injection armed", "fail_after_syncs", cfg.faultFsync)
+		}
 		var err error
-		if db, err = expdb.OpenDurableWithNotify(cfg.dataDir, os.Stdout, expdb.WithMonitor(cfg.monitor)); err != nil {
+		if db, err = expdb.OpenDurableWithNotify(cfg.dataDir, os.Stdout, opts...); err != nil {
 			logger.Error("recovery failed", "data_dir", cfg.dataDir, "err", err)
 			os.Exit(1)
 		}
@@ -221,6 +239,7 @@ func runServer(ctx context.Context, logger *slog.Logger, cfg serverConfig) {
 	base := db.Now()
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
+	durability := db.DurabilityState()
 loop:
 	for t := 1; t <= cfg.ticks; t++ {
 		select {
@@ -228,6 +247,19 @@ loop:
 			logger.Info("signal received, shutting down")
 			break loop
 		case <-ticker.C:
+		}
+		// Durability transitions are operator events: degraded means the
+		// database went read-only (reads and advances keep working from
+		// memory) while background recovery retries; recovered means a
+		// fresh log generation holds a checkpoint of the full state.
+		if s := db.DurabilityState(); s != durability {
+			switch s {
+			case expdb.DurabilityDegraded:
+				logger.Warn("disk degraded, database is read-only", "state", s.String())
+			case expdb.DurabilityHealthy:
+				logger.Info("disk recovered, writes resumed", "state", s.String())
+			}
+			durability = s
 		}
 		// Advance failures are transient operator-visible conditions,
 		// not reasons to abandon connected view nodes. Each advance

@@ -41,6 +41,7 @@ import (
 	"expdb/internal/trace"
 	"expdb/internal/tuple"
 	"expdb/internal/value"
+	"expdb/internal/vfs"
 	"expdb/internal/view"
 	"expdb/internal/wire"
 	"expdb/internal/xtime"
@@ -139,7 +140,22 @@ type (
 	// torn log tail was truncated, and the trace ID the catch-up expiry
 	// batch will carry.
 	RecoveryInfo = engine.RecoveryInfo
+	// DurabilityState is the engine's durability posture: memory-only,
+	// healthy, or disk-degraded read-only (see DB.DurabilityState).
+	DurabilityState = engine.DurabilityState
+	// FS abstracts the durability layer's filesystem access; pass one via
+	// WithVFS. Production uses the OS passthrough, tests inject FaultFS.
+	FS = vfs.FS
+	// FaultFS wraps an FS with deterministic fault injection: scripted
+	// fsync failures, ENOSPC quotas, read errors and torn writes.
+	FaultFS = vfs.FaultFS
 )
+
+// NewFaultFS wraps inner (usually OSFS()) with fault injection.
+var NewFaultFS = vfs.NewFault
+
+// OSFS returns the passthrough filesystem durability uses by default.
+func OSFS() FS { return vfs.OS() }
 
 // Wire client connectivity states (see WireClient.State).
 const (
@@ -190,6 +206,25 @@ var (
 	// reconnect attempt failed — the only condition under which a
 	// degraded read gives up.
 	ErrWireDegraded = wire.ErrDegraded
+	// ErrReadOnly: a mutation was rejected because a disk failure put the
+	// database in degraded read-only mode. The mutation was NOT applied;
+	// reads, views and clock advances keep working from memory while
+	// background recovery retries (see DB.DurabilityState).
+	ErrReadOnly = engine.ErrReadOnly
+	// ErrFaultInjected tags every failure a FaultFS injects, so tests can
+	// tell scripted faults from real ones.
+	ErrFaultInjected = vfs.ErrInjected
+)
+
+// Durability states (see DB.DurabilityState).
+const (
+	// DurabilityMemoryOnly: no WAL configured.
+	DurabilityMemoryOnly = engine.DurabilityMemoryOnly
+	// DurabilityHealthy: the WAL is open and accepting writes.
+	DurabilityHealthy = engine.DurabilityHealthy
+	// DurabilityDegraded: a disk failure made the database read-only;
+	// background recovery is retrying with capped jittered backoff.
+	DurabilityDegraded = engine.DurabilityDegraded
 )
 
 // Infinity is the expiration time of data that never expires.
@@ -269,6 +304,17 @@ func WithTimingWheel() EngineOption { return engine.WithScheduler(engine.Schedul
 // the first Advance after recovery. Prefer OpenDurable, which surfaces
 // recovery errors instead of panicking.
 func WithDurability(dir string) EngineOption { return engine.WithDurability(dir) }
+
+// WithVFS routes all durability disk access through fsys. Production
+// code never needs this (the default is the OS passthrough); tests and
+// fault drills inject a FaultFS to script fsync failures, ENOSPC, read
+// errors and torn writes.
+func WithVFS(fsys FS) EngineOption { return engine.WithVFS(fsys) }
+
+// WithDiskRetryBackoff sets the initial interval between background
+// disk-recovery attempts while degraded (default 250ms; doubling per
+// failure, capped at 32x, jittered up to +25%).
+func WithDiskRetryBackoff(d time.Duration) EngineOption { return engine.WithDiskRetryBackoff(d) }
 
 // WithSlowQueryThreshold enables the slow-query log: any statement whose
 // wall time reaches d has its full span tree recorded (SHOW TRACES,
@@ -407,6 +453,18 @@ func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
 // memory-only database, Recovered=false for a durable open of a fresh
 // directory.
 func (db *DB) RecoveryInfo() *RecoveryInfo { return db.eng.Recovery() }
+
+// DurabilityState reports the database's durability posture: memory-only,
+// healthy, or disk-degraded. While degraded every mutation returns
+// ErrReadOnly, reads and ADVANCE keep working from memory, and a
+// background goroutine retries recovery; on success the full in-memory
+// state is checkpointed to a fresh log generation and writes resume.
+func (db *DB) DurabilityState() DurabilityState { return db.eng.DurabilityState() }
+
+// TryDiskRecovery runs one synchronous disk-recovery attempt (the same
+// routine the background loop retries) and reports its outcome. Healthy
+// or memory-only databases return nil immediately.
+func (db *DB) TryDiskRecovery() error { return db.eng.TryDiskRecovery() }
 
 // Close stops the monitor sampler (if any), then flushes and closes the
 // write-ahead log (a no-op for a memory-only database). The database

@@ -39,6 +39,8 @@ func TestAllExperimentsRun(t *testing.T) {
 		"durable (snapshot)",
 		"=== E13",
 		"cache on",
+		"=== E14",
+		"degraded (read-only)",
 	}
 	for _, want := range checks {
 		if !strings.Contains(out, want) {

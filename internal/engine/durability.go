@@ -92,7 +92,7 @@ func (e *Engine) OpenDurability(compileView func(def string) error) (*RecoveryIn
 	if e.log != nil {
 		return nil, fmt.Errorf("engine: durability already open")
 	}
-	log, recovered, err := wal.Open(e.walDir)
+	log, recovered, err := wal.OpenFS(e.walDir, e.walFSOrOS())
 	if err != nil {
 		return nil, err
 	}
@@ -125,13 +125,26 @@ func (e *Engine) OpenDurability(compileView func(def string) error) (*RecoveryIn
 // distinguishes that).
 func (e *Engine) Recovery() *RecoveryInfo { return e.recovery }
 
-// CloseDurability flushes and closes the log. The engine must not
-// mutate afterwards.
+// CloseDurability stops any background disk recovery, then flushes and
+// closes the log. The engine must not mutate afterwards. Closing while
+// degraded returns the poisoning error — the shutdown is loud about the
+// state it could not persist.
 func (e *Engine) CloseDurability() error {
-	if e.log == nil {
+	e.mu.Lock()
+	stop, done := e.retryStop, e.retryDone
+	e.retryStop, e.retryDone = nil, nil
+	e.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	e.mu.RLock()
+	log := e.log
+	e.mu.RUnlock()
+	if log == nil {
 		return nil
 	}
-	return e.log.Close()
+	return log.Close()
 }
 
 // replay rebuilds engine state from disk: snapshot, then log suffix,
@@ -296,12 +309,34 @@ func (e *Engine) rederiveSchedule() int {
 
 // walAppend logs one record. Callers hold e.mu (that is what makes WAL
 // order equal apply order); with durability off or during replay it is a
-// no-op. The returned sequence number feeds walSync after the caller has
-// released its locks. appendRecord copies every byte of rec before
-// returning, so rec may alias caller-owned tuples and pooled key
-// buffers.
+// no-op. In degraded mode it returns ErrReadOnly — the caller must NOT
+// apply the mutation. The returned sequence number feeds walSync after
+// the caller has released its locks. appendRecord copies every byte of
+// rec before returning, so rec may alias caller-owned tuples and pooled
+// key buffers.
 func (e *Engine) walAppend(rec *wal.Record) (uint64, error) {
 	if e.log == nil || e.recovering {
+		return 0, nil
+	}
+	if e.degraded {
+		return 0, ErrReadOnly
+	}
+	seq, err := e.log.Append(rec)
+	if err != nil {
+		return 0, fmt.Errorf("engine: wal append: %w", err)
+	}
+	return seq, nil
+}
+
+// walAppendRelaxed is walAppend for the Advance/Sweep pipeline, which
+// must keep expiring from memory whatever the disk does: while degraded
+// it silently skips logging (seq 0) instead of rejecting, and an append
+// failure is returned for the caller to hand to walFail — not to abort
+// on. The skipped records are not lost state: expiration is a pure
+// function of stored texp values and the clock, and the recovery
+// checkpoint captures the post-advance state wholesale.
+func (e *Engine) walAppendRelaxed(rec *wal.Record) (uint64, error) {
+	if e.log == nil || e.recovering || e.degraded {
 		return 0, nil
 	}
 	seq, err := e.log.Append(rec)
@@ -332,8 +367,17 @@ func (e *Engine) walSync(seq uint64) error {
 // generations it covers. Mutations proceed again as soon as the capture
 // — not the file write — is done.
 func (e *Engine) Checkpoint() error {
-	if e.log == nil {
+	e.mu.RLock()
+	log := e.log
+	degraded := e.degraded
+	e.mu.RUnlock()
+	if log == nil {
 		return fmt.Errorf("engine: durability not enabled")
+	}
+	if degraded {
+		// Recovery IS a checkpoint (see recoverDiskLocked); a second one
+		// against the poisoned log cannot succeed.
+		return fmt.Errorf("engine: checkpoint: %w", ErrReadOnly)
 	}
 	// advMu first: an in-flight advance may have logged its record but
 	// not yet applied its removals; quiescing the pipeline keeps the
@@ -341,8 +385,46 @@ func (e *Engine) Checkpoint() error {
 	e.advMu.Lock()
 	defer e.advMu.Unlock()
 
-	// Lock every table (ascending LockOrder), then e.mu — re-checking
-	// under e.mu that no DDL changed the table set while we acquired.
+	tables := e.lockAllTables()
+	gen, err := log.Rotate()
+	if err != nil {
+		e.mu.Unlock()
+		for i := len(tables) - 1; i >= 0; i-- {
+			tables[i].Rel.Unlock()
+		}
+		// A failed rotation poisons the log — a disk fault, not a
+		// caller mistake. Degrade so writes fail fast with ErrReadOnly
+		// and the background loop takes over (advMu is held, so no
+		// inline recovery here).
+		return e.walFail(err, false)
+	}
+	snap, shared := e.captureLocked(tables)
+	tick := e.now
+	e.mu.Unlock()
+	for i := len(tables) - 1; i >= 0; i-- {
+		tables[i].Rel.Unlock()
+	}
+
+	serializeTables(snap, tables, shared)
+	if err := wal.WriteSnapshotFS(log.FS(), wal.SnapshotPath(log.Dir(), gen), snap); err != nil {
+		return err
+	}
+	if err := log.RemoveBelow(gen); err != nil {
+		return err
+	}
+	e.m.Checkpoints.Inc()
+	e.events.Emit(trace.Event{
+		Trace: trace.NextID(), Kind: trace.EvCheckpoint, Tick: tick,
+		Count: int64(len(snap.Tables)),
+	})
+	return nil
+}
+
+// lockAllTables locks every table (ascending LockOrder) and then e.mu,
+// re-checking under e.mu that no DDL changed the table set while the
+// locks were acquired. On return the caller holds every table lock plus
+// e.mu — the global quiescent point both checkpoint paths capture at.
+func (e *Engine) lockAllTables() []catalog.NamedTable {
 	var tables []catalog.NamedTable
 	for {
 		tables = e.cat.TableSet()
@@ -354,22 +436,19 @@ func (e *Engine) Checkpoint() error {
 		}
 		e.mu.Lock()
 		if tablesMatch(tables, e.cat.TableSet()) {
-			break
+			return tables
 		}
 		e.mu.Unlock()
 		for i := len(tables) - 1; i >= 0; i-- {
 			tables[i].Rel.Unlock()
 		}
 	}
+}
 
-	gen, err := e.log.Rotate()
-	if err != nil {
-		e.mu.Unlock()
-		for i := len(tables) - 1; i >= 0; i-- {
-			tables[i].Rel.Unlock()
-		}
-		return err
-	}
+// captureLocked captures the snapshot header, view definitions and
+// zero-copy shared images of every table. Caller holds the lockAllTables
+// quiescent point.
+func (e *Engine) captureLocked(tables []catalog.NamedTable) (*wal.Snapshot, []*relation.Relation) {
 	snap := &wal.Snapshot{Clock: e.now, LastSweep: e.lastSweep}
 	shared := make([]*relation.Relation, len(tables))
 	for i, nt := range tables {
@@ -379,15 +458,14 @@ func (e *Engine) Checkpoint() error {
 		snap.Views = append(snap.Views, wal.SnapshotView{Name: name, Def: def})
 	}
 	sort.Slice(snap.Views, func(i, j int) bool { return snap.Views[i].Name < snap.Views[j].Name })
-	tick := e.now
-	e.mu.Unlock()
-	for i := len(tables) - 1; i >= 0; i-- {
-		tables[i].Rel.Unlock()
-	}
+	return snap, shared
+}
 
-	// Serialise outside every lock: the shared snapshots are immutable
-	// copy-on-write images, so concurrent mutations detach rather than
-	// corrupt them.
+// serializeTables expands the shared table images into snapshot rows.
+// Runs outside every lock: the shared snapshots are immutable
+// copy-on-write images, so concurrent mutations detach rather than
+// corrupt them.
+func serializeTables(snap *wal.Snapshot, tables []catalog.NamedTable, shared []*relation.Relation) {
 	for i, nt := range tables {
 		st := wal.SnapshotTable{Name: nt.Name, Schema: nt.Rel.Schema()}
 		shared[i].All(func(row relation.Row) {
@@ -395,18 +473,6 @@ func (e *Engine) Checkpoint() error {
 		})
 		snap.Tables = append(snap.Tables, st)
 	}
-	if err := wal.WriteSnapshot(wal.SnapshotPath(e.log.Dir(), gen), snap); err != nil {
-		return err
-	}
-	if err := e.log.RemoveBelow(gen); err != nil {
-		return err
-	}
-	e.m.Checkpoints.Inc()
-	e.events.Emit(trace.Event{
-		Trace: trace.NextID(), Kind: trace.EvCheckpoint, Tick: tick,
-		Count: int64(len(snap.Tables)),
-	})
-	return nil
 }
 
 // tablesMatch reports whether two table-set snapshots name the same

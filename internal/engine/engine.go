@@ -28,6 +28,7 @@ import (
 	"expdb/internal/relation"
 	"expdb/internal/trace"
 	"expdb/internal/tuple"
+	"expdb/internal/vfs"
 	"expdb/internal/view"
 	"expdb/internal/wal"
 	"expdb/internal/wheel"
@@ -197,11 +198,20 @@ type Engine struct {
 	// viewDefs maps view name → CREATE VIEW statement text (guarded by
 	// mu); recovering suppresses re-logging while the log is replayed.
 	walDir      string
+	walFS       vfs.FS // nil = vfs.OS(); set by WithVFS
 	log         *wal.Log
 	recovering  bool
 	compileView func(def string) error
 	viewDefs    map[string]string
 	recovery    *RecoveryInfo
+	// Disk-degraded read-only mode (see degraded.go). degraded and
+	// degradedErr are guarded by mu; retryStop/retryDone belong to the
+	// background recovery goroutine running while degraded.
+	degraded    bool
+	degradedErr error
+	retryStop   chan struct{}
+	retryDone   chan struct{}
+	diskBackoff time.Duration
 	// recoverTID is consumed by the first untraced Advance after
 	// recovery, so the catch-up expiry batch shares the recovery trace.
 	recoverTID trace.ID
@@ -307,7 +317,10 @@ func (e *Engine) CreateTable(name string, schema tuple.Schema) error {
 	}
 	e.epochs[name]++
 	e.mu.Unlock()
-	return e.walSync(seq)
+	if err := e.walSync(seq); err != nil {
+		return e.walFail(err, true)
+	}
+	return nil
 }
 
 // DropTable removes a base relation. Under eager sweeping, every queued
@@ -348,7 +361,10 @@ func (e *Engine) DropTable(name string) error {
 	}
 	e.mu.Unlock()
 	rel.RUnlock()
-	return e.walSync(seq)
+	if err := e.walSync(seq); err != nil {
+		return e.walFail(err, true)
+	}
+	return nil
 }
 
 // DropView removes a view from the catalog (and from the durable state).
@@ -366,7 +382,10 @@ func (e *Engine) DropView(name string) error {
 	e.cat.DropView(name)
 	delete(e.viewDefs, name)
 	e.mu.Unlock()
-	return e.walSync(seq)
+	if err := e.walSync(seq); err != nil {
+		return e.walFail(err, true)
+	}
+	return nil
 }
 
 // OnExpire registers fn to fire whenever a tuple of table expires.
@@ -442,7 +461,14 @@ func (e *Engine) insert(table string, t tuple.Tuple, texpAt func(xtime.Time) xti
 	// would only grow the stale backlog.
 	e.mu.Unlock()
 	rel.Unlock()
-	return e.walSync(seq)
+	if err := e.walSync(seq); err != nil {
+		// The insert is applied in memory but not durable. walFail
+		// returns nil if inline ENOSPC reclamation checkpointed the
+		// state (the insert IS durable then); otherwise the engine
+		// degrades and the error reports indeterminate durability.
+		return e.walFail(err, true)
+	}
+	return nil
 }
 
 // Delete removes t from table immediately (an explicit delete, the
@@ -476,7 +502,10 @@ func (e *Engine) Delete(table string, t tuple.Tuple) (bool, error) {
 	}
 	e.mu.Unlock()
 	rel.Unlock()
-	return ok, e.walSync(seq)
+	if err := e.walSync(seq); err != nil {
+		return ok, e.walFail(err, true)
+	}
+	return ok, nil
 }
 
 // schedule registers an eager expiry event for the tuple stored under key
@@ -612,11 +641,7 @@ func (e *Engine) AdvanceTraced(to xtime.Time, tid trace.ID) error {
 		e.mu.Unlock()
 		return fmt.Errorf("engine: cannot advance backwards from %v to %v", now, to)
 	}
-	seq, err := e.walAppend(&wal.Record{Kind: wal.KindAdvance, Texp: to})
-	if err != nil {
-		e.mu.Unlock()
-		return err
-	}
+	seq, walErr := e.walAppendRelaxed(&wal.Record{Kind: wal.KindAdvance, Texp: to})
 	var due []expiryEvent
 	var sweeps []xtime.Time
 	if e.sweepMode == SweepEager {
@@ -636,9 +661,16 @@ func (e *Engine) AdvanceTraced(to xtime.Time, tid trace.ID) error {
 	// clock movement: replay then never re-fires a trigger that fired
 	// before a crash (a crash inside the dispatch window below degrades
 	// exactly-once to at-most-once; missed expirations fire in the first
-	// post-recovery advance).
-	if err := e.walSync(seq); err != nil {
-		return err
+	// post-recovery advance). A disk failure here must NOT stop the
+	// clock: expiry is a pure function of stored texp values and memory
+	// remains authoritative, so the engine degrades to read-only and the
+	// advance proceeds unlogged — the recovery checkpoint captures its
+	// effects wholesale.
+	if walErr == nil {
+		walErr = e.walSync(seq)
+	}
+	if walErr != nil {
+		e.walFail(walErr, false)
 	}
 
 	// The clock is at to: result-cache entries whose ValidUntil it
@@ -791,14 +823,16 @@ func (e *Engine) Sweep() error {
 	defer e.advMu.Unlock()
 	e.mu.Lock()
 	now := e.now
-	seq, err := e.walAppend(&wal.Record{Kind: wal.KindSweep, Texp: now})
+	seq, walErr := e.walAppendRelaxed(&wal.Record{Kind: wal.KindSweep, Texp: now})
 	e.mu.Unlock()
-	if err != nil {
-		return err
+	// Durable before the removals' triggers can run, mirroring Advance —
+	// and like Advance, a disk failure degrades instead of blocking the
+	// sweep: the removals are pure expiry work, recoverable from texp.
+	if walErr == nil {
+		walErr = e.walSync(seq)
 	}
-	// Durable before the removals' triggers can run, mirroring Advance.
-	if err := e.walSync(seq); err != nil {
-		return err
+	if walErr != nil {
+		e.walFail(walErr, false)
 	}
 	events := e.sweepTables(now, trace.NextID(), false)
 	e.dispatch(events)
@@ -944,7 +978,9 @@ func (e *Engine) CreateViewDef(name, def string, expr algebra.Expr, opts ...view
 		Tick: now, Texp: v.Texp(),
 	})
 	if err := e.walSync(seq); err != nil {
-		return nil, err
+		if err = e.walFail(err, true); err != nil {
+			return nil, err
+		}
 	}
 	return v, nil
 }

@@ -30,6 +30,16 @@ type Metrics struct {
 	// Checkpoints counts completed durability checkpoints (snapshot
 	// written, older log generations removed).
 	Checkpoints metrics.Counter
+	// DiskFaults counts transitions into disk-degraded mode.
+	DiskFaults metrics.Counter
+	// DiskRetries counts background WAL re-open attempts while degraded.
+	DiskRetries metrics.Counter
+	// DiskReclamations counts ENOSPC reclamation sweeps (forced expiry
+	// of dead tuples before a compacting checkpoint).
+	DiskReclamations metrics.Counter
+	// DiskRecoveries counts successful exits from degraded mode (plus
+	// inline ENOSPC recoveries that never entered it).
+	DiskRecoveries metrics.Counter
 	// AdvanceNanos is the wall-clock latency distribution of Advance calls
 	// — the engine heartbeat the paper wants at hardware speed.
 	AdvanceNanos metrics.Histogram
@@ -59,6 +69,9 @@ type WALMetricsSnapshot struct {
 	Rotations     int64 `json:"rotations"`
 	// Poisoned carries the sticky WAL error ("" while healthy).
 	Poisoned string `json:"poisoned,omitempty"`
+	// Degraded carries the failure that put the engine in read-only
+	// degraded mode ("" while healthy); see Engine.DurabilityState.
+	Degraded string `json:"degraded,omitempty"`
 }
 
 // SchedulerMetrics describes the eager expiry scheduler in a snapshot.
@@ -90,20 +103,24 @@ type ViewMetrics struct {
 // for JSON export (the expsyncd -metrics endpoint serves it verbatim) and
 // for test assertions.
 type MetricsSnapshot struct {
-	Now             xtime.Time                `json:"now"`
-	Inserts         int64                     `json:"inserts"`
-	Deletes         int64                     `json:"deletes"`
-	TuplesExpired   int64                     `json:"tuples_expired"`
-	TriggersFired   int64                     `json:"triggers_fired"`
-	Sweeps          int64                     `json:"sweeps"`
-	Compactions     int64                     `json:"compactions"`
-	Advances        int64                     `json:"advances"`
-	StaleDropped    int64                     `json:"stale_dropped"`
-	TriggerLagTicks int64                     `json:"trigger_lag_ticks"`
-	Checkpoints     int64                     `json:"checkpoints,omitempty"`
-	AdvanceNanos    metrics.HistogramSnapshot `json:"advance_nanos"`
-	ExpiryBatch     metrics.HistogramSnapshot `json:"expiry_batch_size"`
-	Scheduler       SchedulerMetrics          `json:"scheduler"`
+	Now              xtime.Time                `json:"now"`
+	Inserts          int64                     `json:"inserts"`
+	Deletes          int64                     `json:"deletes"`
+	TuplesExpired    int64                     `json:"tuples_expired"`
+	TriggersFired    int64                     `json:"triggers_fired"`
+	Sweeps           int64                     `json:"sweeps"`
+	Compactions      int64                     `json:"compactions"`
+	Advances         int64                     `json:"advances"`
+	StaleDropped     int64                     `json:"stale_dropped"`
+	TriggerLagTicks  int64                     `json:"trigger_lag_ticks"`
+	Checkpoints      int64                     `json:"checkpoints,omitempty"`
+	DiskFaults       int64                     `json:"disk_faults,omitempty"`
+	DiskRetries      int64                     `json:"disk_retries,omitempty"`
+	DiskReclamations int64                     `json:"disk_reclamations,omitempty"`
+	DiskRecoveries   int64                     `json:"disk_recoveries,omitempty"`
+	AdvanceNanos     metrics.HistogramSnapshot `json:"advance_nanos"`
+	ExpiryBatch      metrics.HistogramSnapshot `json:"expiry_batch_size"`
+	Scheduler        SchedulerMetrics          `json:"scheduler"`
 	// Events and Traces report the observability rings themselves —
 	// drops and high-water tell an operator whether the retained window
 	// is still trustworthy.
@@ -123,18 +140,22 @@ type MetricsSnapshot struct {
 // call from a monitoring goroutine at any frequency.
 func (e *Engine) Metrics() MetricsSnapshot {
 	s := MetricsSnapshot{
-		Inserts:         e.m.Inserts.Load(),
-		Deletes:         e.m.Deletes.Load(),
-		TuplesExpired:   e.m.TuplesExpired.Load(),
-		TriggersFired:   e.m.TriggersFired.Load(),
-		Sweeps:          e.m.Sweeps.Load(),
-		Compactions:     e.m.Compactions.Load(),
-		Advances:        e.m.Advances.Load(),
-		StaleDropped:    e.m.StaleDropped.Load(),
-		TriggerLagTicks: e.m.TriggerLagTicks.Load(),
-		Checkpoints:     e.m.Checkpoints.Load(),
-		AdvanceNanos:    e.m.AdvanceNanos.Snapshot(),
-		ExpiryBatch:     e.m.ExpiryBatch.Snapshot(),
+		Inserts:          e.m.Inserts.Load(),
+		Deletes:          e.m.Deletes.Load(),
+		TuplesExpired:    e.m.TuplesExpired.Load(),
+		TriggersFired:    e.m.TriggersFired.Load(),
+		Sweeps:           e.m.Sweeps.Load(),
+		Compactions:      e.m.Compactions.Load(),
+		Advances:         e.m.Advances.Load(),
+		StaleDropped:     e.m.StaleDropped.Load(),
+		TriggerLagTicks:  e.m.TriggerLagTicks.Load(),
+		Checkpoints:      e.m.Checkpoints.Load(),
+		DiskFaults:       e.m.DiskFaults.Load(),
+		DiskRetries:      e.m.DiskRetries.Load(),
+		DiskReclamations: e.m.DiskReclamations.Load(),
+		DiskRecoveries:   e.m.DiskRecoveries.Load(),
+		AdvanceNanos:     e.m.AdvanceNanos.Snapshot(),
+		ExpiryBatch:      e.m.ExpiryBatch.Snapshot(),
 		Events: RingMetrics{
 			Total: e.events.Total(), Dropped: e.events.Dropped(),
 			Capacity: e.events.Capacity(), HighWater: e.events.HighWater(),
@@ -158,6 +179,9 @@ func (e *Engine) Metrics() MetricsSnapshot {
 		}
 		if err := e.WALErr(); err != nil {
 			s.WAL.Poisoned = err.Error()
+		}
+		if err := e.DegradedErr(); err != nil {
+			s.WAL.Degraded = err.Error()
 		}
 	}
 	e.mu.RLock()

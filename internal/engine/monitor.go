@@ -41,11 +41,18 @@ func (e *Engine) slo() *monitor.SLO {
 
 // WALErr returns the write-ahead log's sticky error: nil for a healthy
 // (or memory-only, or cleanly closed) engine, the poisoning I/O failure
-// otherwise.
+// otherwise. While the engine is in disk-degraded mode it returns nil:
+// degraded is a readiness condition (reads stay correct, recovery is
+// retrying) surfaced by the disk-degraded check, not a liveness
+// failure that should get the process killed.
 func (e *Engine) WALErr() error {
 	e.mu.RLock()
 	log := e.log
+	degraded := e.degraded
 	e.mu.RUnlock()
+	if degraded {
+		return nil
+	}
 	err := log.Err()
 	if errors.Is(err, wal.ErrClosed) {
 		return nil
@@ -87,6 +94,10 @@ func (e *Engine) initMonitor() {
 		}
 		return nil
 	})
+	// Degraded, not dead: /readyz flips to degraded while the disk is
+	// down and background recovery retries; /healthz stays live because
+	// every read the engine serves is still correct.
+	e.mon.Health.AddCheck("disk-degraded", monitor.SevReadiness, e.DegradedErr)
 
 	h := e.mon.History
 	reg := func(name string, kind monitor.SeriesKind, load func() int64) {
@@ -134,6 +145,10 @@ func (e *Engine) initMonitor() {
 	reg("slo_dispatch_observed", monitor.SeriesCounter, func() int64 { return e.mon.SLO.DispatchLag.Count() })
 	reg("slo_catchup_observed", monitor.SeriesCounter, func() int64 { return e.mon.SLO.CatchupLag.Count() })
 	reg("slo_p99_lag_ticks", monitor.SeriesGauge, e.mon.SLO.P99Lag)
+	reg("disk_faults", monitor.SeriesCounter, e.m.DiskFaults.Load)
+	reg("disk_retries", monitor.SeriesCounter, e.m.DiskRetries.Load)
+	reg("disk_reclamations", monitor.SeriesCounter, e.m.DiskReclamations.Load)
+	reg("disk_recoveries", monitor.SeriesCounter, e.m.DiskRecoveries.Load)
 }
 
 // cacheCounter reads one counter off the live result cache (0 when the
@@ -149,20 +164,45 @@ func (e *Engine) cacheCounter(read func(*resultCacheMetrics) int64) int64 {
 }
 
 // registerWALSeries adds the write-ahead log's counters to the history
-// once durability is open (no-op when monitoring is off).
+// once durability is open (no-op when monitoring is off). The closures
+// read the CURRENT log through e.walMetric rather than capturing the
+// one passed in: disk recovery swaps e.log for a fresh one, and the
+// series must follow it (the new log's counters restart at zero, which
+// the sampler's delta logic tolerates as one clamped interval).
 func (e *Engine) registerWALSeries(log *wal.Log) {
 	if e.mon == nil || log == nil {
 		return
 	}
-	m := log.Metrics()
 	h := e.mon.History
 	// Ignore duplicate-name errors: a second OpenDurability is rejected
 	// before reaching here, so these cannot collide in practice.
-	_ = h.Register("wal_appends", monitor.SeriesCounter, m.Appends.Load)
-	_ = h.Register("wal_appended_bytes", monitor.SeriesCounter, m.AppendedBytes.Load)
-	_ = h.Register("wal_syncs", monitor.SeriesCounter, m.Syncs.Load)
-	_ = h.Register("wal_sync_nanos", monitor.SeriesCounter, m.SyncNanos.Load)
-	_ = h.Register("wal_rotations", monitor.SeriesCounter, m.Rotations.Load)
+	_ = h.Register("wal_appends", monitor.SeriesCounter, func() int64 {
+		return e.walMetric(func(m *wal.Metrics) int64 { return m.Appends.Load() })
+	})
+	_ = h.Register("wal_appended_bytes", monitor.SeriesCounter, func() int64 {
+		return e.walMetric(func(m *wal.Metrics) int64 { return m.AppendedBytes.Load() })
+	})
+	_ = h.Register("wal_syncs", monitor.SeriesCounter, func() int64 {
+		return e.walMetric(func(m *wal.Metrics) int64 { return m.Syncs.Load() })
+	})
+	_ = h.Register("wal_sync_nanos", monitor.SeriesCounter, func() int64 {
+		return e.walMetric(func(m *wal.Metrics) int64 { return m.SyncNanos.Load() })
+	})
+	_ = h.Register("wal_rotations", monitor.SeriesCounter, func() int64 {
+		return e.walMetric(func(m *wal.Metrics) int64 { return m.Rotations.Load() })
+	})
+}
+
+// walMetric reads one counter off the engine's current log (0 when
+// durability is not open).
+func (e *Engine) walMetric(read func(*wal.Metrics) int64) int64 {
+	e.mu.RLock()
+	log := e.log
+	e.mu.RUnlock()
+	if log == nil {
+		return 0
+	}
+	return read(log.Metrics())
 }
 
 // observeAdvanceHeartbeat stamps one Advance on the SLO tracker.

@@ -519,9 +519,13 @@ func (s *Session) execShow(st *Show) (*Result, error) {
 			return nil, fmt.Errorf("sql: SHOW HEALTH: monitoring disabled (open with engine.WithMonitor)")
 		}
 		body := struct {
-			Health monitor.HealthSnapshot `json:"health"`
-			SLO    monitor.SLOSnapshot    `json:"slo"`
-		}{mon.Health.Snapshot(), mon.SLO.Snapshot()}
+			// Durability is the engine's posture (memory-only, healthy,
+			// degraded); while degraded the disk-degraded check below
+			// carries the underlying I/O failure.
+			Durability string                 `json:"durability"`
+			Health     monitor.HealthSnapshot `json:"health"`
+			SLO        monitor.SLOSnapshot    `json:"slo"`
+		}{s.eng.DurabilityState().String(), mon.Health.Snapshot(), mon.SLO.Snapshot()}
 		buf, err := json.MarshalIndent(body, "", "  ")
 		if err != nil {
 			return nil, err

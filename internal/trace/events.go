@@ -84,6 +84,13 @@ const (
 	// configured number of consecutive watchdog evaluations (Count
 	// carries the p99 dispatch lag in ticks at the moment of the flip).
 	EvSLOBreach
+	// EvDiskDegraded: a WAL I/O failure moved the engine to read-only
+	// degraded mode (Name carries the failure).
+	EvDiskDegraded
+	// EvDiskRecovered: the engine reopened its log, checkpointed the
+	// in-memory state and left degraded mode (Count carries the number
+	// of recovery attempts it took).
+	EvDiskRecovered
 )
 
 var eventKindNames = [...]string{
@@ -110,6 +117,8 @@ var eventKindNames = [...]string{
 	EvCacheInvalidate: "cache-invalidate",
 	EvHealthChange:    "health-change",
 	EvSLOBreach:       "slo-breach",
+	EvDiskDegraded:    "disk-degraded",
+	EvDiskRecovered:   "disk-recovered",
 }
 
 // String names the kind.

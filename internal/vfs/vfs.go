@@ -1,0 +1,68 @@
+// Package vfs abstracts the filesystem operations the durability layer
+// performs — segment/snapshot creation, whole-file reads for recovery,
+// and the rename/remove/fsync primitives behind atomic publication — so
+// every durability test can run against a deterministic unreliable disk
+// (FaultFS) while production uses the passthrough OSFS.
+package vfs
+
+import (
+	"io/fs"
+	"os"
+)
+
+// File is the writable handle the WAL needs from an open file.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the filesystem surface of the durability layer. It is
+// deliberately small: the WAL only ever creates files, appends to them,
+// reads them back whole during recovery, and publishes snapshots by
+// rename — there is no random access to widen the fault surface.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory so creates and renames inside it are
+	// durable.
+	SyncDir(dir string) error
+}
+
+type osFS struct{}
+
+var osfs FS = osFS{}
+
+// OS returns the passthrough filesystem backed by package os.
+func OS() FS { return osfs }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

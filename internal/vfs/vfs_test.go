@@ -1,0 +1,182 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func create(t *testing.T, fsys FS, path string) File {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile(%s): %v", path, err)
+	}
+	return f
+}
+
+func TestOSFSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS()
+	path := filepath.Join(dir, "a")
+	f := create(t, fsys, path)
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	got, err := fsys.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if err := fsys.Rename(path, filepath.Join(dir, "b")); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil || len(entries) != 1 || entries[0].Name() != "b" {
+		t.Fatalf("ReadDir = %v, %v", entries, err)
+	}
+	if err := fsys.Truncate(filepath.Join(dir, "b"), 2); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if err := fsys.Remove(filepath.Join(dir, "b")); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+}
+
+func TestFaultFSSyncSchedule(t *testing.T) {
+	dir := t.TempDir()
+	x := NewFault(OS())
+	f := create(t, x, filepath.Join(dir, "a"))
+	defer f.Close()
+
+	x.FailSyncs(2, 1, nil) // 3rd fsync fails, once
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := x.SyncDir(dir); err != nil {
+		t.Fatalf("sync 2 (dir): %v", err)
+	}
+	err := f.Sync()
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync 3 = %v, want injected EIO", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 4 after one-shot fault: %v", err)
+	}
+
+	x.FailSyncs(0, -1, nil) // persistent until healed
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("persistent fault: %v", err)
+	}
+	if err := x.SyncDir(dir); !errors.Is(err, ErrInjected) {
+		t.Fatalf("persistent fault (dir): %v", err)
+	}
+	x.Heal()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("after Heal: %v", err)
+	}
+	if x.Syncs() != 7 || x.Injected() != 3 {
+		t.Fatalf("counters: syncs=%d injected=%d", x.Syncs(), x.Injected())
+	}
+}
+
+func TestFaultFSReadSchedule(t *testing.T) {
+	dir := t.TempDir()
+	x := NewFault(OS())
+	path := filepath.Join(dir, "a")
+	if err := os.WriteFile(path, []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	x.FailReads(1, 1, nil)
+	if _, err := x.ReadFile(path); err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	if _, err := x.ReadFile(path); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("read 2 = %v, want EIO", err)
+	}
+	if got, err := x.ReadFile(path); err != nil || string(got) != "data" {
+		t.Fatalf("read 3 = %q, %v", got, err)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	x := NewFault(OS())
+	path := filepath.Join(dir, "a")
+	f := create(t, x, path)
+	defer f.Close()
+	x.TornWrite(3)
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write = %d, %v", n, err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "abc" {
+		t.Fatalf("on disk after torn write: %q", got)
+	}
+	if _, err := f.Write([]byte("xyz")); err != nil {
+		t.Fatalf("write after one-shot tear: %v", err)
+	}
+}
+
+func TestFaultFSQuota(t *testing.T) {
+	dir := t.TempDir()
+	x := NewFault(OS())
+	a := filepath.Join(dir, "a")
+	f := create(t, x, a)
+	x.SetQuota(10)
+	if _, err := f.Write([]byte("12345678")); err != nil {
+		t.Fatalf("within quota: %v", err)
+	}
+	_, err := f.Write([]byte("1234"))
+	if !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("over quota = %v, want injected ENOSPC", err)
+	}
+	f.Close()
+
+	// Removing the file gives the bytes back.
+	if err := x.Remove(a); err != nil {
+		t.Fatal(err)
+	}
+	if x.Used() != 0 {
+		t.Fatalf("Used after remove = %d", x.Used())
+	}
+	b := filepath.Join(dir, "b")
+	g := create(t, x, b)
+	if _, err := g.Write([]byte("123456789")); err != nil {
+		t.Fatalf("write after reclamation: %v", err)
+	}
+	g.Close()
+
+	// Rename-over frees the target's accounted bytes.
+	c := filepath.Join(dir, "c")
+	h := create(t, x, c)
+	if _, err := h.Write([]byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	if err := x.Rename(c, b); err != nil {
+		t.Fatal(err)
+	}
+	if x.Used() != 1 {
+		t.Fatalf("Used after rename-over = %d", x.Used())
+	}
+
+	// Truncate releases the cut bytes; O_TRUNC resets the accounting.
+	if err := x.Truncate(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if x.Used() != 0 {
+		t.Fatalf("Used after truncate = %d", x.Used())
+	}
+}

@@ -6,12 +6,18 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"expdb/internal/metrics"
+	"expdb/internal/vfs"
 )
+
+// createFlags opens a brand-new segment: O_EXCL because generations are
+// never reused, so an existing file means a bookkeeping bug.
+const createFlags = os.O_CREATE | os.O_EXCL | os.O_WRONLY
 
 // ErrClosed is the sticky error of a cleanly closed log, distinct from a
 // poisoning I/O failure so health checks can tell shutdown from damage.
@@ -48,9 +54,15 @@ type Metrics struct {
 //
 // Errors are sticky: once a write or fsync fails, every subsequent
 // Append/Sync returns the same error, so a durability failure can never
-// silently degrade into memory-only operation.
+// silently degrade into memory-only operation. The engine layer above
+// decides what a poisoned log means (degraded read-only mode, retry) —
+// the log itself never heals; recovery opens a new one.
+//
+// All disk access goes through a vfs.FS, so tests can run the log
+// against a deterministic unreliable disk (vfs.FaultFS).
 type Log struct {
 	dir string
+	fs  vfs.FS
 
 	// mu guards the append state: the pending buffer, the sequence
 	// counter, the active file handle and the sticky error. It is a leaf
@@ -59,7 +71,7 @@ type Log struct {
 	buf  []byte
 	seq  uint64 // last appended sequence number
 	gen  uint64 // active segment generation
-	f    *os.File
+	f    vfs.File
 	err  error
 	size int64 // bytes durably written to the active segment
 
@@ -75,6 +87,45 @@ type Log struct {
 
 func segmentName(gen uint64) string  { return fmt.Sprintf("wal-%08d.log", gen) }
 func snapshotName(gen uint64) string { return fmt.Sprintf("snap-%08d.snap", gen) }
+
+// ReserveBytes sizes the emergency headroom file ("wal.reserve") the log
+// keeps pre-allocated in its directory. ENOSPC recovery must write a
+// compacting snapshot BEFORE it may delete the old generations (they are
+// the durable state until the snapshot lands), so on a full disk the
+// reserve is released first and the snapshot goes into that space.
+const ReserveBytes = 64 << 10
+
+const reserveName = "wal.reserve"
+
+// ensureReserve pre-allocates the headroom file if absent. Best effort:
+// a disk too full to hold the reserve is no worse off for lacking it,
+// and the name matches neither segment nor snapshot pattern, so scans
+// and RemoveBelow never touch it.
+func ensureReserve(fsys vfs.FS, dir string) {
+	f, err := fsys.OpenFile(filepath.Join(dir, reserveName), createFlags, 0o644)
+	if err != nil {
+		return // already present, or no space
+	}
+	buf := make([]byte, 4096)
+	for written := 0; written < ReserveBytes; written += len(buf) {
+		if _, err := f.Write(buf); err != nil {
+			break
+		}
+	}
+	f.Close()
+}
+
+// ReleaseReserve deletes the emergency headroom file, freeing up to
+// ReserveBytes for an ENOSPC recovery's compacting snapshot. Call
+// EnsureReserve to restore it once the recovery's RemoveBelow has freed
+// the old generations.
+func (l *Log) ReleaseReserve() {
+	_ = l.fs.Remove(filepath.Join(l.dir, reserveName))
+	_ = l.fs.SyncDir(l.dir)
+}
+
+// EnsureReserve restores the emergency headroom file (best effort).
+func (l *Log) EnsureReserve() { ensureReserve(l.fs, l.dir) }
 
 // SnapshotPath returns the path of the snapshot file for generation gen
 // inside a log directory — the name WriteSnapshot must be given for
@@ -95,6 +146,10 @@ func parseGen(name, prefix, ext string) (uint64, bool) {
 
 // Dir returns the log's directory.
 func (l *Log) Dir() string { return l.dir }
+
+// FS returns the filesystem the log was opened against, so checkpoints
+// and recovery read and write through the same (possibly faulty) disk.
+func (l *Log) FS() vfs.FS { return l.fs }
 
 // Gen returns the active segment generation.
 func (l *Log) Gen() uint64 {
@@ -230,7 +285,7 @@ func (l *Log) Rotate() (uint64, error) {
 		return 0, l.err
 	}
 	gen := l.gen + 1
-	f, err := createSegment(l.dir, gen)
+	f, err := createSegment(l.fs, l.dir, gen)
 	if err != nil {
 		l.err = err
 		return 0, err
@@ -259,9 +314,10 @@ func (l *Log) Close() error {
 
 // RemoveBelow deletes segments and snapshots with generation < gen —
 // they are fully covered by the snapshot at gen. Called after a
-// checkpoint's snapshot is durable.
+// checkpoint's snapshot is durable; on a quota-bound disk this is also
+// where ENOSPC reclamation gets its space back.
 func (l *Log) RemoveBelow(gen uint64) error {
-	entries, err := os.ReadDir(l.dir)
+	entries, err := l.fs.ReadDir(l.dir)
 	if err != nil {
 		return err
 	}
@@ -274,39 +330,25 @@ func (l *Log) RemoveBelow(gen uint64) error {
 			}
 		}
 		if g < gen {
-			if err := os.Remove(filepath.Join(l.dir, e.Name())); err != nil {
+			if err := l.fs.Remove(filepath.Join(l.dir, e.Name())); err != nil {
 				return err
 			}
 		}
 	}
-	return syncDir(l.dir)
+	return l.fs.SyncDir(l.dir)
 }
 
-func createSegment(dir string, gen uint64) (*os.File, error) {
+func createSegment(fsys vfs.FS, dir string, gen uint64) (vfs.File, error) {
 	path := filepath.Join(dir, segmentName(gen))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(path, createFlags, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: create segment: %w", err)
 	}
-	if err := syncDir(dir); err != nil {
+	if err := fsys.SyncDir(dir); err != nil {
 		f.Close()
-		return nil, err
+		return nil, fmt.Errorf("wal: fsync %s: %w", dir, err)
 	}
 	return f, nil
-}
-
-// syncDir fsyncs a directory so renames and creates within it are
-// durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync %s: %w", dir, err)
-	}
-	return nil
 }
 
 // Recovered is what Open found on disk: the best snapshot (nil when none
@@ -317,6 +359,7 @@ type Recovered struct {
 	// SnapshotGen is the snapshot's generation (0 when Snapshot is nil).
 	SnapshotGen uint64
 	dir         string
+	fs          vfs.FS
 	segments    []uint64 // generations to replay, ascending
 }
 
@@ -336,12 +379,14 @@ type ReplayStats struct {
 // the first torn or corrupt record it truncates that segment to the last
 // valid offset, skips any later segments (they postdate the tear and
 // must not be applied out of order), and reports the cut in the stats.
-// An error from apply aborts the replay.
+// A segment that cannot be read at all (EIO, not corruption) aborts the
+// replay with the I/O error — recovery must not guess at durable state
+// it cannot see. An error from apply also aborts the replay.
 func (r *Recovered) Replay(apply func(*Record) error) (ReplayStats, error) {
 	var stats ReplayStats
 	for _, gen := range r.segments {
 		path := filepath.Join(r.dir, segmentName(gen))
-		buf, err := os.ReadFile(path)
+		buf, err := r.fs.ReadFile(path)
 		if err != nil {
 			return stats, fmt.Errorf("wal: read segment: %w", err)
 		}
@@ -351,7 +396,7 @@ func (r *Recovered) Replay(apply func(*Record) error) (ReplayStats, error) {
 			if err != nil {
 				// Stop at the last valid record and make the cut
 				// physical, so the next boot does not re-diagnose it.
-				if terr := os.Truncate(path, int64(off)); terr != nil {
+				if terr := r.fs.Truncate(path, int64(off)); terr != nil {
 					return stats, fmt.Errorf("wal: truncate torn tail: %w", terr)
 				}
 				stats.Truncated = true
@@ -369,22 +414,43 @@ func (r *Recovered) Replay(apply func(*Record) error) (ReplayStats, error) {
 	return stats, nil
 }
 
-// Open prepares a log directory for recovery and appending: it scans dir
-// (creating it if needed), selects the highest complete snapshot plus
+// Open prepares a log directory for recovery and appending against the
+// real filesystem. See OpenFS.
+func Open(dir string) (*Log, *Recovered, error) {
+	return OpenFS(dir, vfs.OS())
+}
+
+// OpenFS prepares a log directory for recovery and appending: it scans
+// dir (creating it if needed), deletes stale snapshot temp files left by
+// a crash mid-WriteSnapshot, selects the highest complete snapshot plus
 // the segments to replay after it, and opens a fresh segment for new
 // appends. The caller replays Recovered first, then appends; records are
 // never added to an old segment, so a recovery-time truncation can never
 // sit in the middle of a live file.
-func Open(dir string) (*Log, *Recovered, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+//
+// A snapshot that fails validation (ErrCorrupt — crash mid-checkpoint)
+// falls back to the previous generation, whose covering segments still
+// exist. A snapshot that cannot be read (EIO on a flaky disk) surfaces
+// the I/O error instead: falling back would silently recover an older
+// state than the disk actually holds.
+func OpenFS(dir string, fsys vfs.FS) (*Log, *Recovered, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: open dir: %w", err)
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: open dir: %w", err)
 	}
 	var segGens, snapGens []uint64
 	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".snap.tmp") {
+			// Debris from a crash between snapshot create and rename; a
+			// complete checkpoint always renames away its temp file.
+			if err := fsys.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return nil, nil, fmt.Errorf("wal: remove stale snapshot temp: %w", err)
+			}
+			continue
+		}
 		if g, ok := parseGen(e.Name(), "wal", ".log"); ok {
 			segGens = append(segGens, g)
 		}
@@ -395,15 +461,18 @@ func Open(dir string) (*Log, *Recovered, error) {
 	sort.Slice(segGens, func(i, j int) bool { return segGens[i] < segGens[j] })
 	sort.Slice(snapGens, func(i, j int) bool { return snapGens[i] > snapGens[j] })
 
-	rec := &Recovered{dir: dir}
+	rec := &Recovered{dir: dir, fs: fsys}
 	for _, g := range snapGens {
-		snap, err := ReadSnapshot(filepath.Join(dir, snapshotName(g)))
+		snap, err := ReadSnapshotFS(fsys, filepath.Join(dir, snapshotName(g)))
 		if err != nil {
-			// Incomplete or corrupt (crash mid-checkpoint): fall back to
-			// the previous generation, whose covering segments still
-			// exist — they are only deleted after a newer snapshot is
-			// durable.
-			continue
+			if errors.Is(err, ErrCorrupt) {
+				// Incomplete (crash mid-checkpoint): fall back to the
+				// previous generation, whose covering segments still
+				// exist — they are only deleted after a newer snapshot
+				// is durable.
+				continue
+			}
+			return nil, nil, fmt.Errorf("wal: snapshot %s unreadable: %w", snapshotName(g), err)
 		}
 		rec.Snapshot, rec.SnapshotGen = snap, g
 		break
@@ -418,9 +487,41 @@ func Open(dir string) (*Log, *Recovered, error) {
 		}
 	}
 
-	l := &Log{dir: dir, gen: maxGen + 1}
-	if l.f, err = createSegment(dir, l.gen); err != nil {
+	l := &Log{dir: dir, fs: fsys, gen: maxGen + 1}
+	if l.f, err = createSegment(fsys, dir, l.gen); err != nil {
 		return nil, nil, err
 	}
+	ensureReserve(fsys, dir)
 	return l, rec, nil
+}
+
+// Reopen starts a fresh log in an existing directory without replaying
+// it: it scans for the highest generation on disk and opens a new
+// segment above it. This is the online-recovery path — the engine still
+// holds the authoritative state in memory, so instead of replaying it
+// reopens, checkpoints that state as a new snapshot, and discards the
+// older generations. Nothing below the new generation is touched until
+// that checkpoint succeeds.
+func Reopen(dir string, fsys vfs.FS) (*Log, error) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reopen dir: %w", err)
+	}
+	var maxGen uint64
+	for _, e := range entries {
+		g, ok := parseGen(e.Name(), "wal", ".log")
+		if !ok {
+			if g, ok = parseGen(e.Name(), "snap", ".snap"); !ok {
+				continue
+			}
+		}
+		if g > maxGen {
+			maxGen = g
+		}
+	}
+	l := &Log{dir: dir, fs: fsys, gen: maxGen + 1}
+	if l.f, err = createSegment(fsys, dir, l.gen); err != nil {
+		return nil, err
+	}
+	return l, nil
 }

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 
 	"expdb/internal/tuple"
+	"expdb/internal/vfs"
 	"expdb/internal/xtime"
 )
 
@@ -50,12 +51,18 @@ func (s *Snapshot) Records() uint64 {
 	return n
 }
 
-// WriteSnapshot atomically writes snap to path: encode into a temp file
-// in the same directory, fsync, rename over path, fsync the directory.
-// A crash at any point leaves either the old file or the complete new
-// one — never a torn snapshot under the final name (and if the temp file
-// survives a crash it fails footer validation and is ignored).
+// WriteSnapshot atomically writes snap to path on the real filesystem.
+// See WriteSnapshotFS.
 func WriteSnapshot(path string, snap *Snapshot) error {
+	return WriteSnapshotFS(vfs.OS(), path, snap)
+}
+
+// WriteSnapshotFS atomically writes snap to path: encode into a temp
+// file in the same directory, fsync, rename over path, fsync the
+// directory. A crash at any point leaves either the old file or the
+// complete new one — never a torn snapshot under the final name (a temp
+// file surviving a crash is deleted by the next Open).
+func WriteSnapshotFS(fsys vfs.FS, path string, snap *Snapshot) error {
 	var buf []byte
 	rec := Record{Kind: KindSnapHeader, Texp: snap.Clock, Aux: snap.LastSweep}
 	buf = appendRecord(buf, &rec)
@@ -75,39 +82,48 @@ func WriteSnapshot(path string, snap *Snapshot) error {
 	buf = appendRecord(buf, &rec)
 
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: write snapshot: %w", err)
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("wal: write snapshot: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("wal: fsync snapshot: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("wal: close snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("wal: publish snapshot: %w", err)
 	}
-	return syncDir(filepath.Dir(path))
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
-// ReadSnapshot loads and validates a snapshot file. Any defect — bad
-// framing, wrong record order, a missing footer, or a footer whose count
-// disagrees with the body — returns an error; recovery then falls back
-// to an older generation.
+// ReadSnapshot loads and validates a snapshot file on the real
+// filesystem. See ReadSnapshotFS.
 func ReadSnapshot(path string) (*Snapshot, error) {
-	buf, err := os.ReadFile(path)
+	return ReadSnapshotFS(vfs.OS(), path)
+}
+
+// ReadSnapshotFS loads and validates a snapshot file. Any content
+// defect — bad framing, wrong record order, a missing footer, or a
+// footer whose count disagrees with the body — returns an error wrapping
+// ErrCorrupt; recovery then falls back to an older generation. A read
+// failure (EIO on a flaky disk) is NOT ErrCorrupt: the snapshot may be
+// perfectly good, so the caller must surface the I/O error rather than
+// silently recover older state.
+func ReadSnapshotFS(fsys vfs.FS, path string) (*Snapshot, error) {
+	buf, err := fsys.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("wal: read snapshot: %w", err)
 	}
 	var (
 		snap  Snapshot

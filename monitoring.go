@@ -137,6 +137,10 @@ func (db *DB) WritePrometheus(w io.Writer) error {
 	p.Counter("expdb_stale_dropped_total", "Stale scheduler events dropped.", nil, em.StaleDropped)
 	p.Counter("expdb_trigger_lag_ticks_total", "Sum of (fire tick - expiration tick) under lazy sweeping.", nil, em.TriggerLagTicks)
 	p.Counter("expdb_checkpoints_total", "Durability checkpoints completed.", nil, em.Checkpoints)
+	p.Counter("expdb_disk_faults_total", "Transitions into disk-degraded read-only mode.", nil, em.DiskFaults)
+	p.Counter("expdb_disk_retries_total", "Background WAL recovery attempts while degraded.", nil, em.DiskRetries)
+	p.Counter("expdb_disk_reclamations_total", "ENOSPC reclamation sweeps (forced expiry before a compacting checkpoint).", nil, em.DiskReclamations)
+	p.Counter("expdb_disk_recoveries_total", "Successful durability recoveries.", nil, em.DiskRecoveries)
 	p.Histogram("expdb_advance_duration_nanos", "Advance wall-clock latency.", nil, em.AdvanceNanos)
 	p.Histogram("expdb_expiry_batch_size", "Tuples expired per batch or sweep tick.", nil, em.ExpiryBatch)
 
@@ -173,6 +177,11 @@ func (db *DB) WritePrometheus(w io.Writer) error {
 			poisoned = 1
 		}
 		p.Gauge("expdb_wal_poisoned", "1 when the WAL hit a sticky I/O error.", nil, poisoned)
+		degraded := int64(0)
+		if em.WAL.Degraded != "" {
+			degraded = 1
+		}
+		p.Gauge("expdb_disk_degraded", "1 while the engine is in disk-degraded read-only mode.", nil, degraded)
 	}
 
 	if em.ResultCache != nil {

@@ -81,4 +81,65 @@ if [ "$EXIT" -ne 0 ]; then
 fi
 
 grep -q '"msg":"shutdown complete"' "$LOG" || fail "no shutdown-complete log line"
+
+# Storage fault phase: boot again with an injected fsync failure. The
+# fault lands after boot (seeding used its sync budget restoring is not
+# needed — the fresh data dir below guarantees a known sync count), and
+# the daemon must DEGRADE, not die: /readyz flips to 503 with the
+# disk-degraded check while /healthz stays live, then the background
+# recovery loop restores readiness, and SIGTERM still exits clean.
+LOG="$DIR/expsyncd-fault.log"
+"$DIR/expsyncd" -serve ":${WIRE_PORT}" -metrics ":${METRICS_PORT}" \
+    -data-dir "$DIR/fault-data" -ticks 600 -log-format json \
+    -fault-fsync 15 -disk-retry-backoff 3s >"$LOG" 2>&1 &
+PID=$!
+
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -le 50 ] || fail "fault-phase expsyncd never served /healthz"
+    kill -0 "$PID" 2>/dev/null || fail "fault-phase expsyncd died during boot"
+    sleep 0.2
+done
+
+# Wait for the injected fault to hit a tick's WAL sync: /readyz must go
+# 503 (degraded) while the process stays up and /healthz stays 200.
+i=0
+while :; do
+    CODE=$(curl -s -o "$DIR/readyz.json" -w '%{http_code}' "$BASE/readyz" || true)
+    if [ "$CODE" = "503" ]; then
+        grep -q 'disk-degraded' "$DIR/readyz.json" || fail "degraded /readyz lacks disk-degraded check"
+        break
+    fi
+    kill -0 "$PID" 2>/dev/null || fail "expsyncd died instead of degrading"
+    i=$((i + 1))
+    [ "$i" -le 300 ] || fail "expsyncd never reported disk-degraded"
+    sleep 0.1
+done
+curl -sf "$BASE/healthz" | grep -q '"live": true' || fail "degraded daemon not live"
+grep -q '"msg":"disk degraded, database is read-only"' "$LOG" || fail "no degraded transition log line"
+
+# The fault is one-shot, so the first backoff retry recovers.
+i=0
+until curl -sf "$BASE/readyz" >/dev/null 2>&1; do
+    kill -0 "$PID" 2>/dev/null || fail "expsyncd died while degraded"
+    i=$((i + 1))
+    [ "$i" -le 300 ] || fail "expsyncd never recovered from disk fault"
+    sleep 0.1
+done
+grep -q '"msg":"disk recovered, writes resumed"' "$LOG" || fail "no recovery transition log line"
+PROM=$(curl -sf "$BASE/metrics?format=prometheus")
+echo "$PROM" | grep -q 'expdb_disk_faults_total 1' || fail "prometheus lacks expdb_disk_faults_total 1"
+echo "$PROM" | grep -q 'expdb_disk_recoveries_total 1' || fail "prometheus lacks expdb_disk_recoveries_total 1"
+
+kill -TERM "$PID"
+EXIT=0
+wait "$PID" || EXIT=$?
+PID=""
+if [ "$EXIT" -ne 0 ]; then
+    echo "fault-phase expsyncd exited $EXIT after SIGTERM" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+grep -q '"msg":"shutdown complete"' "$LOG" || fail "no fault-phase shutdown-complete log line"
 echo "smoke test passed"
