@@ -24,7 +24,21 @@ func ReplaceChildren(e Expr, children []Expr) (Expr, error) {
 	case *Union:
 		return &Union{Left: children[0], Right: children[1]}, nil
 	case *Join:
-		return &Join{Pred: n.Pred, Left: children[0], Right: children[1]}, nil
+		return &Join{Pred: n.Pred, Left: children[0], Right: children[1], BuildLeft: n.BuildLeft}, nil
+	case *IndexScan:
+		if b, ok := children[0].(*Base); ok {
+			out := *n
+			out.Base = b
+			out.children = []Expr{b}
+			return &out, nil
+		}
+		// The substituted child is no longer a bare table leaf (e.g. a
+		// cached materialisation): the probe no longer applies, but the
+		// node is equivalent to σ[Full](child) by construction.
+		if n.Full == nil {
+			return children[0], nil
+		}
+		return &Select{Pred: n.Full, Child: children[0]}, nil
 	case *Intersect:
 		return &Intersect{Left: children[0], Right: children[1]}, nil
 	case *Diff:

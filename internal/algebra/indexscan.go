@@ -1,0 +1,189 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"expdb/internal/index"
+	"expdb/internal/interval"
+	"expdb/internal/relation"
+	"expdb/internal/tuple"
+	"expdb/internal/value"
+	"expdb/internal/xtime"
+)
+
+// IndexScan is the physical access path the cost-based planner may
+// substitute for σ[pred](Base): instead of scanning the table it probes a
+// secondary index attached to the base relation. Index entries carry the
+// per-tuple texp, so the probe skips expired entries at read time —
+// expired tuples are invisible exactly as in a scan, whether or not the
+// lazy sweeper has removed them.
+//
+// Semantically IndexScan ≡ Select{Pred: Full, Child: Base}: same schema,
+// same rows, same per-tuple expiration times, ExprTexp = ∞ and validity
+// [τ, ∞) (both sides of the equivalence are a monotonic operator over a
+// base leaf). The result-cache key and validity stamping therefore work
+// unchanged on indexed plans.
+//
+// The node holds the index NAME, not the structure: the index is resolved
+// against the relation at evaluation time, under the table's read lock.
+// If it was dropped (or its shape no longer matches the probe) the node
+// degrades to a scan filtered by Full — plans never go stale, they just
+// lose the speed-up.
+type IndexScan struct {
+	Base  *Base  // table leaf: locking, schema, fallback scan
+	Index string // attached index name
+
+	// Equality probe (hash indexes, or an ordered index probed on its
+	// full column prefix): EqKey is the pre-encoded probe key — computed
+	// once at plan time with the same tuple.KeyCols encoding index
+	// maintenance uses — and Eq holds the constant values for display.
+	EqKey string
+	Eq    []value.Value
+
+	// Range probe (ordered indexes): bounds over a prefix of the index
+	// columns. A nil bound is unbounded on that side.
+	Lo, Hi       []value.Value
+	LoInc, HiInc bool
+
+	// Residual is the conjunction of predicate parts the probe does not
+	// cover, applied to every emitted row (True when the probe covers
+	// everything). Full is the entire original predicate — the fallback
+	// scan filter, equal to probe ∧ Residual.
+	Residual Predicate
+	Full     Predicate
+
+	// children caches the one-element child slice so repeated Walks
+	// (rlockBases on the query hot path) do not allocate.
+	children []Expr
+}
+
+// NewIndexScan builds an index-scan node over base. The probe fields are
+// set by the planner after construction.
+func NewIndexScan(base *Base, indexName string, full, residual Predicate) *IndexScan {
+	return &IndexScan{
+		Base:     base,
+		Index:    indexName,
+		Full:     full,
+		Residual: residual,
+		children: []Expr{base},
+	}
+}
+
+// Schema implements Expr.
+func (s *IndexScan) Schema() tuple.Schema { return s.Base.Schema() }
+
+// Monotonic implements Expr: σ over a base leaf is monotonic.
+func (s *IndexScan) Monotonic() bool { return true }
+
+// ExprTexp implements Expr: texp(σ(R)) = texp(R) = ∞.
+func (s *IndexScan) ExprTexp(xtime.Time) (xtime.Time, error) { return xtime.Infinity, nil }
+
+// Validity implements Expr: valid from the query time on, like the
+// selection it replaces.
+func (s *IndexScan) Validity(tau xtime.Time) (interval.Set, error) {
+	return interval.From(tau), nil
+}
+
+// Children implements Expr. The base leaf is reported as the child so
+// lock planning and per-operator recomputation see the table.
+func (s *IndexScan) Children() []Expr {
+	if s.children == nil {
+		return []Expr{s.Base}
+	}
+	return s.children
+}
+
+// Eval implements Expr.
+func (s *IndexScan) Eval(tau xtime.Time) (*relation.Relation, error) {
+	out := relation.New(s.Schema())
+	err := s.Stream(tau, func(row relation.Row) { out.InsertOwnedRow(row) })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stream implements Streamer: probe the index and push the survivors.
+// The caller holds the table's read lock (the Base child puts the table
+// in the lock plan), which is what makes the probe safe against
+// concurrent maintenance.
+func (s *IndexScan) Stream(tau xtime.Time, emit func(relation.Row)) error {
+	idx := s.Base.Rel.IndexNamed(s.Index)
+	residual := s.Residual
+	pass := func(e index.Entry) bool {
+		if residual != nil && !residual.Holds(e.Tuple) {
+			return true
+		}
+		emit(relation.Row{Tuple: e.Tuple, Texp: e.Texp})
+		return true
+	}
+	switch ix := idx.(type) {
+	case *index.Hash:
+		if s.EqKey != "" {
+			ix.Probe(s.EqKey, tau, pass)
+			return nil
+		}
+	case *index.Ordered:
+		ix.Ascend(s.Lo, s.LoInc, s.Hi, s.HiInc, tau, pass)
+		return nil
+	}
+	// Index dropped (or re-created with an incompatible shape) since the
+	// plan was built: degrade to the scan the node replaced.
+	return StreamExpr(s.Base, tau, func(row relation.Row) {
+		if s.Full == nil || s.Full.Holds(row.Tuple) {
+			emit(row)
+		}
+	})
+}
+
+func (s *IndexScan) String() string {
+	var probe string
+	switch {
+	case s.EqKey != "":
+		vals := make([]string, len(s.Eq))
+		for i, v := range s.Eq {
+			vals[i] = v.String()
+		}
+		probe = "=" + strings.Join(vals, ",")
+	default:
+		var b strings.Builder
+		if s.Lo != nil {
+			if s.LoInc {
+				b.WriteString("≥")
+			} else {
+				b.WriteString(">")
+			}
+			for i, v := range s.Lo {
+				if i > 0 {
+					b.WriteString(",")
+				}
+				b.WriteString(v.String())
+			}
+		}
+		if s.Hi != nil {
+			if s.Lo != nil {
+				b.WriteString(" ")
+			}
+			if s.HiInc {
+				b.WriteString("≤")
+			} else {
+				b.WriteString("<")
+			}
+			for i, v := range s.Hi {
+				if i > 0 {
+					b.WriteString(",")
+				}
+				b.WriteString(v.String())
+			}
+		}
+		probe = b.String()
+	}
+	out := fmt.Sprintf("ixscan[%s %s](%s)", s.Index, probe, s.Base.Name)
+	if s.Residual != nil {
+		if _, isTrue := s.Residual.(True); !isTrue {
+			out = fmt.Sprintf("σ[%s](%s)", s.Residual, out)
+		}
+	}
+	return out
+}

@@ -239,6 +239,12 @@ func (u *Union) String() string { return fmt.Sprintf("(%s ∪ %s)", u.Left, u.Ri
 type Join struct {
 	Pred        Predicate // over the concatenated schema
 	Left, Right Expr
+	// BuildLeft makes the hash join build its index over the LEFT input
+	// and stream the right one through it — the cost-based planner sets
+	// it when the left side is the smaller. The result (rows, expiration
+	// times, concatenation order) is identical either way; only the
+	// memory/probe roles swap.
+	BuildLeft bool
 }
 
 // NewJoin builds a join whose predicate ranges over the concatenated
@@ -307,6 +313,18 @@ func (j *Join) Eval(tau xtime.Time) (*relation.Relation, error) {
 			for _, rr := range rrows {
 				t := lr.Tuple.Concat(rr.Tuple)
 				if j.Pred.Holds(t) {
+					out.InsertOwnedRow(relation.Row{Tuple: t, Texp: xtime.Min(lr.Texp, rr.Texp)})
+				}
+			}
+		})
+		return out, nil
+	}
+	if j.BuildLeft {
+		idx := l.BuildIndex(tau, leftCols)
+		r.AliveAt(tau, func(rr relation.Row) {
+			for _, lr := range idx.ProbeKey(rr.Tuple.KeyCols(rightCols)) {
+				t := lr.Tuple.Concat(rr.Tuple)
+				if holdsAll(rest, t) {
 					out.InsertOwnedRow(relation.Row{Tuple: t, Texp: xtime.Min(lr.Texp, rr.Texp)})
 				}
 			}

@@ -23,7 +23,8 @@ func PushDownSelections(e Expr) Expr {
 	case *Union:
 		return &Union{Left: PushDownSelections(n.Left), Right: PushDownSelections(n.Right)}
 	case *Join:
-		return &Join{Pred: n.Pred, Left: PushDownSelections(n.Left), Right: PushDownSelections(n.Right)}
+		return &Join{Pred: n.Pred, Left: PushDownSelections(n.Left), Right: PushDownSelections(n.Right),
+			BuildLeft: n.BuildLeft}
 	case *Intersect:
 		return &Intersect{Left: PushDownSelections(n.Left), Right: PushDownSelections(n.Right)}
 	case *Diff:
@@ -66,7 +67,7 @@ func pushSelect(pred Predicate, child Expr) Expr {
 		}
 	case *Join:
 		if e, ok := pushThroughBinary(pred, n.Left, n.Right, func(l, r Expr) Expr {
-			return &Join{Pred: n.Pred, Left: l, Right: r}
+			return &Join{Pred: n.Pred, Left: l, Right: r, BuildLeft: n.BuildLeft}
 		}); ok {
 			return e
 		}

@@ -2,6 +2,7 @@ package algebra
 
 import (
 	"expdb/internal/relation"
+	"expdb/internal/tuple"
 	"expdb/internal/xtime"
 )
 
@@ -134,15 +135,32 @@ func (u *Union) Stream(tau xtime.Time, emit func(relation.Row)) error {
 // goroutine. Without equality conjuncts it degrades to a streamed nested
 // loop over the hoisted right rows.
 func (j *Join) Stream(tau xtime.Time, emit func(relation.Row)) error {
-	r, err := EvalStream(j.Right, tau)
+	build, probeSide := j.Right, j.Left
+	if j.BuildLeft {
+		build, probeSide = j.Left, j.Right
+	}
+	b, err := EvalStream(build, tau)
 	if err != nil {
 		return err
 	}
 	leftCols, rightCols, rest, ok := j.equiCols()
 	if !ok {
-		rrows := r.Rows(tau)
-		return StreamExpr(j.Left, tau, func(lr relation.Row) {
-			for _, rr := range rrows {
+		// No equality conjuncts: streamed nested loop over the hoisted
+		// build rows. The concatenation order is always left ++ right,
+		// whichever side was hoisted.
+		brows := b.Rows(tau)
+		if j.BuildLeft {
+			return StreamExpr(probeSide, tau, func(rr relation.Row) {
+				for _, lr := range brows {
+					t := lr.Tuple.Concat(rr.Tuple)
+					if j.Pred.Holds(t) {
+						emit(relation.Row{Tuple: t, Texp: xtime.Min(lr.Texp, rr.Texp)})
+					}
+				}
+			})
+		}
+		return StreamExpr(probeSide, tau, func(lr relation.Row) {
+			for _, rr := range brows {
 				t := lr.Tuple.Concat(rr.Tuple)
 				if j.Pred.Holds(t) {
 					emit(relation.Row{Tuple: t, Texp: xtime.Min(lr.Texp, rr.Texp)})
@@ -150,30 +168,39 @@ func (j *Join) Stream(tau xtime.Time, emit func(relation.Row)) error {
 			}
 		})
 	}
-	idx := r.BuildIndex(tau, rightCols)
-	probe := func(lr relation.Row, out *[]relation.Row) {
-		for _, rr := range idx.ProbeKey(lr.Tuple.KeyCols(leftCols)) {
-			t := lr.Tuple.Concat(rr.Tuple)
+	buildCols, probeCols := rightCols, leftCols
+	if j.BuildLeft {
+		buildCols, probeCols = leftCols, rightCols
+	}
+	idx := b.BuildIndex(tau, buildCols)
+	probe := func(pr relation.Row, out *[]relation.Row) {
+		for _, br := range idx.ProbeKey(pr.Tuple.KeyCols(probeCols)) {
+			var t tuple.Tuple
+			if j.BuildLeft {
+				t = br.Tuple.Concat(pr.Tuple)
+			} else {
+				t = pr.Tuple.Concat(br.Tuple)
+			}
 			if holdsAll(rest, t) {
-				*out = append(*out, relation.Row{Tuple: t, Texp: xtime.Min(lr.Texp, rr.Texp)})
+				*out = append(*out, relation.Row{Tuple: t, Texp: xtime.Min(pr.Texp, br.Texp)})
 			}
 		}
 	}
 	if workerCount() > 1 {
-		var lrows []relation.Row
-		if err := StreamExpr(j.Left, tau, func(row relation.Row) {
-			lrows = append(lrows, row)
+		var prows []relation.Row
+		if err := StreamExpr(probeSide, tau, func(row relation.Row) {
+			prows = append(prows, row)
 		}); err != nil {
 			return err
 		}
-		if len(lrows) >= 2*streamChunk {
-			parallelFilterMap(lrows, probe, emit)
+		if len(prows) >= 2*streamChunk {
+			parallelFilterMap(prows, probe, emit)
 			return nil
 		}
 		var buf []relation.Row
-		for _, lr := range lrows {
+		for _, pr := range prows {
 			buf = buf[:0]
-			probe(lr, &buf)
+			probe(pr, &buf)
 			for _, row := range buf {
 				emit(row)
 			}
@@ -181,9 +208,9 @@ func (j *Join) Stream(tau xtime.Time, emit func(relation.Row)) error {
 		return nil
 	}
 	var buf []relation.Row
-	return StreamExpr(j.Left, tau, func(lr relation.Row) {
+	return StreamExpr(probeSide, tau, func(pr relation.Row) {
 		buf = buf[:0]
-		probe(lr, &buf)
+		probe(pr, &buf)
 		for _, row := range buf {
 			emit(row)
 		}

@@ -40,6 +40,7 @@ func All() []Experiment {
 		{ID: "E12", Title: "durability: WAL cost, snapshot vs log-replay recovery", Run: RunE12},
 		{ID: "E13", Title: "result cache: zipfian read-heavy dashboard, cache on vs off", Run: RunE13},
 		{ID: "E14", Title: "storage faults: insert cost of fsync latency, degraded-mode read throughput", Run: RunE14},
+		{ID: "E15", Title: "secondary indexes: point/range workloads, index on vs off, answers verified", Run: RunE15},
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"expdb/internal/index"
 	"expdb/internal/relation"
 	"expdb/internal/tuple"
 	"expdb/internal/view"
@@ -26,21 +27,37 @@ var (
 	// from. Declared here with the other name-space sentinels so one
 	// import suffices for errors.Is across catalog, engine and SQL.
 	ErrCacheDisabled = errors.New("catalog: result cache disabled")
+	// ErrNoSuchIndex: the named secondary index is not in the catalog.
+	ErrNoSuchIndex = errors.New("catalog: no such index")
 )
+
+// IndexDef is the catalog entry for a secondary index: which table and
+// columns it covers, its organisation, and the CREATE INDEX statement
+// text logged to the WAL (recovery recompiles it like a view definition).
+type IndexDef struct {
+	Name     string
+	Table    string
+	Cols     []int    // 0-based positions in the table schema
+	ColNames []string // original column spellings, for SHOW INDEXES
+	Kind     index.Kind
+	Def      string // verbatim CREATE INDEX statement
+}
 
 // Catalog maps names to relations and views. It is safe for concurrent
 // use.
 type Catalog struct {
-	mu     sync.RWMutex
-	tables map[string]*relation.Relation
-	views  map[string]*view.View
+	mu      sync.RWMutex
+	tables  map[string]*relation.Relation
+	views   map[string]*view.View
+	indexes map[string]*IndexDef
 }
 
 // New returns an empty catalog.
 func New() *Catalog {
 	return &Catalog{
-		tables: make(map[string]*relation.Relation),
-		views:  make(map[string]*view.View),
+		tables:  make(map[string]*relation.Relation),
+		views:   make(map[string]*view.View),
+		indexes: make(map[string]*IndexDef),
 	}
 }
 
@@ -59,7 +76,9 @@ func (c *Catalog) CreateTable(name string, schema tuple.Schema) (*relation.Relat
 	return r, nil
 }
 
-// DropTable removes the named relation.
+// DropTable removes the named relation, along with the registry entries
+// of any indexes defined on it (the attached index structures die with
+// the relation).
 func (c *Catalog) DropTable(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -67,7 +86,79 @@ func (c *Catalog) DropTable(name string) error {
 		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 	}
 	delete(c.tables, name)
+	for n, def := range c.indexes {
+		if def.Table == name {
+			delete(c.indexes, n)
+		}
+	}
 	return nil
+}
+
+// AddIndex registers a secondary-index definition. The attached index
+// structure lives on the relation; the catalog holds the name space and
+// the definition the planner and SHOW INDEXES consult.
+func (c *Catalog) AddIndex(def *IndexDef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.indexes[def.Name]; ok {
+		return fmt.Errorf("catalog: index %q already exists", def.Name)
+	}
+	if _, ok := c.tables[def.Table]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, def.Table)
+	}
+	c.indexes[def.Name] = def
+	return nil
+}
+
+// DropIndex removes the named index definition, returning it so the
+// engine can detach the structure from its relation.
+func (c *Catalog) DropIndex(name string) (*IndexDef, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	def, ok := c.indexes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchIndex, name)
+	}
+	delete(c.indexes, name)
+	return def, nil
+}
+
+// Index returns the named index definition.
+func (c *Catalog) Index(name string) (*IndexDef, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	def, ok := c.indexes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchIndex, name)
+	}
+	return def, nil
+}
+
+// Indexes returns every index definition, sorted by name.
+func (c *Catalog) Indexes() []*IndexDef {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*IndexDef, 0, len(c.indexes))
+	for _, def := range c.indexes {
+		out = append(out, def)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TableIndexes returns the definitions of the indexes on one table,
+// sorted by name — the planner's access-path candidates.
+func (c *Catalog) TableIndexes(table string) []*IndexDef {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*IndexDef
+	for _, def := range c.indexes {
+		if def.Table == table {
+			out = append(out, def)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Table returns the named relation.

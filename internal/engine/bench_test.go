@@ -5,6 +5,9 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"expdb/internal/algebra"
+	"expdb/internal/catalog"
+	"expdb/internal/index"
 	"expdb/internal/trace"
 	"expdb/internal/tuple"
 	"expdb/internal/xtime"
@@ -214,6 +217,47 @@ func BenchmarkCacheHit(b *testing.B) {
 		}
 		if !qr.Cached {
 			b.Fatal("hit path fell through to evaluation")
+		}
+	}
+}
+
+// BenchmarkIndexedPointLookup measures the uncached indexed read path:
+// lock plan, hash-index probe, one-row result relation, validity stamp.
+// CI pins it at ≤6 allocs/op — the result relation (header, row map,
+// bucket, set key) and the two streaming closures; the lock plan and the
+// probe itself must stay allocation-free.
+func BenchmarkIndexedPointLookup(b *testing.B) {
+	e, names := benchTables(b, 1)
+	if err := e.CreateIndex(&catalog.IndexDef{
+		Name: "t0_id", Table: names[0], Cols: []int{0},
+		ColNames: []string{"id"}, Kind: index.KindHash,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	for r := 0; r < 100_000; r++ {
+		if err := e.Insert(names[0], tuple.Ints(int64(r), int64(r%7)), xtime.Infinity); err != nil {
+			b.Fatal(err)
+		}
+	}
+	base, err := e.Base(names[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := tuple.Ints(41_771)
+	full := algebra.ColConst{Col: 0, Op: algebra.OpEq, Const: probe[0]}
+	scan := algebra.NewIndexScan(base, "t0_id", full, nil)
+	scan.Eq = probe
+	scan.EqKey = probe.Key()
+	tid := trace.NextID()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qr, err := e.QueryStamped(scan, "", tid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if qr.Rel.CountAt(qr.At) != 1 {
+			b.Fatal("probe missed")
 		}
 	}
 }

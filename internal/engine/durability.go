@@ -161,6 +161,7 @@ func (e *Engine) replay(r *wal.Recovered) (*RecoveryInfo, error) {
 			if err != nil {
 				return nil, fmt.Errorf("engine: recover table %s: %w", t.Name, err)
 			}
+			rel.EnableTexpIndex()
 			for _, row := range t.Rows {
 				// Decoded tuples are fresh memory the relation may own.
 				rel.InsertOwned(row.Tuple.Key(), row.Tuple, row.Texp)
@@ -168,6 +169,13 @@ func (e *Engine) replay(r *wal.Recovered) (*RecoveryInfo, error) {
 		}
 		for _, v := range snap.Views {
 			if err := e.recoverView(v.Name, v.Def); err != nil {
+				return nil, err
+			}
+		}
+		// Indexes last: every snapshot row is in place, so the attach-time
+		// backfill sees the full table.
+		for _, ix := range snap.Indexes {
+			if err := e.recoverIndex(ix.Name, ix.Def); err != nil {
 				return nil, err
 			}
 		}
@@ -216,15 +224,27 @@ func (e *Engine) applyRecord(rec *wal.Record) error {
 			nt.Rel.RemoveExpired(rec.Texp)
 		}
 	case wal.KindCreateTable:
-		if _, err := e.cat.CreateTable(rec.Name, rec.Schema); err != nil {
+		rel, err := e.cat.CreateTable(rec.Name, rec.Schema)
+		if err != nil {
 			return err
 		}
+		rel.EnableTexpIndex()
 	case wal.KindDropTable:
 		if err := e.cat.DropTable(rec.Name); err != nil {
 			return err
 		}
 	case wal.KindCreateView:
 		return e.recoverView(rec.Name, rec.Def)
+	case wal.KindCreateIndex:
+		return e.recoverIndex(rec.Name, rec.Def)
+	case wal.KindDropIndex:
+		def, err := e.cat.DropIndex(rec.Name)
+		if err != nil {
+			return err
+		}
+		if rel, err := e.cat.Table(def.Table); err == nil {
+			rel.DetachIndex(rec.Name)
+		}
 	case wal.KindDropView:
 		if err := e.cat.DropView(rec.Name); err != nil {
 			return err
@@ -458,6 +478,12 @@ func (e *Engine) captureLocked(tables []catalog.NamedTable) (*wal.Snapshot, []*r
 		snap.Views = append(snap.Views, wal.SnapshotView{Name: name, Def: def})
 	}
 	sort.Slice(snap.Views, func(i, j int) bool { return snap.Views[i].Name < snap.Views[j].Name })
+	for _, def := range e.cat.Indexes() {
+		if def.Def == "" {
+			continue // programmatic index with no statement text: memory-only
+		}
+		snap.Indexes = append(snap.Indexes, wal.SnapshotIndex{Name: def.Name, Def: def.Def})
+	}
 	return snap, shared
 }
 

@@ -304,11 +304,15 @@ func (e *Engine) SchedulerLoad() (pending, stale int) {
 // record in the WAL.
 func (e *Engine) CreateTable(name string, schema tuple.Schema) error {
 	e.mu.Lock()
-	_, err := e.cat.CreateTable(name, schema)
+	rel, err := e.cat.CreateTable(name, schema)
 	if err != nil {
 		e.mu.Unlock()
 		return err
 	}
+	// Engine-owned tables carry the texp-ordered index from birth, making
+	// NextExpiration a peek and sweeps O(k). Operator results (relations
+	// built by EvalStream collectors) never enable it.
+	rel.EnableTexpIndex()
 	seq, err := e.walAppend(&wal.Record{Kind: wal.KindCreateTable, Name: name, Schema: schema})
 	if err != nil {
 		e.cat.DropTable(name) // un-apply: the log is poisoned

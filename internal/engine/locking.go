@@ -1,31 +1,71 @@
 package engine
 
 import (
-	"sort"
-
 	"expdb/internal/algebra"
 	"expdb/internal/relation"
 )
 
+// collectBases appends the distinct base relations of expr to rels and
+// returns the extended slice. It is written as a plain recursion with a
+// linear dedup (plans reference a handful of tables at most) so the
+// query hot path performs no map or closure allocations; with a
+// stack-backed rels it can run allocation-free.
+func collectBases(expr algebra.Expr, rels []*relation.Relation) []*relation.Relation {
+	if b, ok := expr.(*algebra.Base); ok {
+		if b.Rel == nil {
+			return rels
+		}
+		for _, r := range rels {
+			if r == b.Rel {
+				return rels
+			}
+		}
+		return append(rels, b.Rel)
+	}
+	for _, k := range expr.Children() {
+		rels = collectBases(k, rels)
+	}
+	return rels
+}
+
+// sortByLockOrder insertion-sorts rels into ascending LockOrder — the
+// canonical acquisition order that keeps multi-table locking
+// deadlock-free. Insertion sort keeps the hot path free of sort.Slice's
+// closure and reflection allocations.
+func sortByLockOrder(rels []*relation.Relation) {
+	for i := 1; i < len(rels); i++ {
+		for j := i; j > 0 && rels[j].LockOrder() < rels[j-1].LockOrder(); j-- {
+			rels[j], rels[j-1] = rels[j-1], rels[j]
+		}
+	}
+}
+
+// rlockRels read-locks rels, which must already be in LockOrder.
+func rlockRels(rels []*relation.Relation) {
+	for _, r := range rels {
+		r.RLock()
+	}
+}
+
+// runlockRels releases in reverse acquisition order.
+func runlockRels(rels []*relation.Relation) {
+	for i := len(rels) - 1; i >= 0; i-- {
+		rels[i].RUnlock()
+	}
+}
+
 // baseRels returns the distinct base relations referenced by exprs, in
-// ascending LockOrder — the canonical acquisition order that keeps
-// multi-table locking deadlock-free. Writers in the engine only ever hold
-// one table lock at a time; readers spanning several tables (joins,
-// differences) must take them in this order because a pending writer on
-// one of the tables would otherwise close a wait cycle between two
-// overlapping readers.
+// ascending LockOrder. Writers in the engine only ever hold one table
+// lock at a time; readers spanning several tables (joins, differences)
+// must take them in this order because a pending writer on one of the
+// tables would otherwise close a wait cycle between two overlapping
+// readers.
 func baseRels(exprs ...algebra.Expr) []*relation.Relation {
-	seen := make(map[*relation.Relation]bool)
 	var rels []*relation.Relation
 	for _, expr := range exprs {
-		algebra.Walk(expr, func(x algebra.Expr) {
-			if b, ok := x.(*algebra.Base); ok && b.Rel != nil && !seen[b.Rel] {
-				seen[b.Rel] = true
-				rels = append(rels, b.Rel)
-			}
-		})
+		rels = collectBases(expr, rels)
 	}
-	sort.Slice(rels, func(i, j int) bool { return rels[i].LockOrder() < rels[j].LockOrder() })
+	sortByLockOrder(rels)
 	return rels
 }
 
@@ -34,13 +74,6 @@ func baseRels(exprs ...algebra.Expr) []*relation.Relation {
 // catalog — expressions over foreign relations simply lock those.
 func (e *Engine) rlockBases(exprs ...algebra.Expr) func() {
 	rels := baseRels(exprs...)
-	for _, r := range rels {
-		r.RLock()
-	}
-	return func() {
-		// Release in reverse acquisition order.
-		for i := len(rels) - 1; i >= 0; i-- {
-			rels[i].RUnlock()
-		}
-	}
+	rlockRels(rels)
+	return func() { runlockRels(rels) }
 }

@@ -210,18 +210,24 @@ func (e *Engine) QueryStamped(expr algebra.Expr, key string, tid trace.ID) (Quer
 		}
 	}
 
-	unlock := e.rlockBases(expr)
+	// Closure-free lock plan: a stack-backed slice, linear dedup and an
+	// insertion sort keep the uncached read path (point lookups through an
+	// index in particular) free of lock-bookkeeping allocations.
+	var relArr [4]*relation.Relation
+	rels := collectBases(expr, relArr[:0])
+	sortByLockOrder(rels)
+	rlockRels(rels)
 	e.mu.RLock()
 	now := e.now
 	e.mu.RUnlock()
 	rel, err := algebra.EvalStream(expr, now)
 	if err != nil {
-		unlock()
+		runlockRels(rels)
 		return QueryResult{}, err
 	}
 	texp, err := expr.ExprTexp(now)
 	if err != nil {
-		unlock()
+		runlockRels(rels)
 		return QueryResult{}, err
 	}
 	res := QueryResult{
@@ -230,7 +236,7 @@ func (e *Engine) QueryStamped(expr algebra.Expr, key string, tid trace.ID) (Quer
 		Validity: interval.Validity{At: now, ValidUntil: texp},
 	}
 	if c == nil || key == "" {
-		unlock()
+		runlockRels(rels)
 		return res, nil
 	}
 	// Capture the base tables' write epochs while their read locks are
@@ -244,7 +250,7 @@ func (e *Engine) QueryStamped(expr algebra.Expr, key string, tid trace.ID) (Quer
 		epochs[i] = e.epochs[t]
 	}
 	e.mu.RUnlock()
-	unlock()
+	runlockRels(rels)
 
 	c.m.Misses.Inc()
 	e.events.Emit(trace.Event{Trace: tid, Kind: trace.EvCacheMiss, Tick: now, Texp: texp})

@@ -1,0 +1,404 @@
+// Package index implements expiration-aware secondary indexes for base
+// relations: a hash index for equality probes and an ordered B+tree index
+// for range predicates. Every entry carries the tuple's expiration time
+// texp, so a probe at logical instant tau skips expired entries without
+// consulting the base table — the index alone answers "which tuples
+// satisfy the key AND are alive at tau" (ROADMAP item 4).
+//
+// Indexes store the same tuple pointers the owning relation stores;
+// tuples are immutable after insertion, so sharing is safe. Maintenance
+// (Insert/Update/Remove) happens inside the relation's mutators under the
+// relation's write lock; probes run under its read lock. The package
+// itself is therefore unsynchronised.
+package index
+
+import (
+	"strings"
+
+	"expdb/internal/tuple"
+	"expdb/internal/value"
+	"expdb/internal/xtime"
+)
+
+// Kind distinguishes index organisations.
+type Kind uint8
+
+// Index kinds.
+const (
+	// KindHash answers equality probes on the full column list in O(1).
+	KindHash Kind = iota
+	// KindOrdered answers range predicates on a prefix of the column
+	// list via sorted leaf scans.
+	KindOrdered
+)
+
+// String returns the SQL spelling (the USING clause argument).
+func (k Kind) String() string {
+	if k == KindOrdered {
+		return "ordered"
+	}
+	return "hash"
+}
+
+// ParseKind parses a USING clause argument (case-insensitive). BTREE is
+// accepted as a synonym for ORDERED.
+func ParseKind(s string) (Kind, bool) {
+	switch strings.ToUpper(s) {
+	case "HASH":
+		return KindHash, true
+	case "ORDERED", "BTREE":
+		return KindOrdered, true
+	}
+	return KindHash, false
+}
+
+// Entry is one index entry: the indexed tuple, its full set key (the
+// relation's identity for the tuple — unique per index), and its current
+// expiration time. A probe at tau emits the entry only while Texp > tau.
+type Entry struct {
+	Key   string // full set key (relation identity)
+	Tuple tuple.Tuple
+	Texp  xtime.Time
+}
+
+// Index is the maintenance interface relations drive. Probing is
+// organisation-specific (Hash.Probe, Ordered.Ascend).
+type Index interface {
+	// Insert adds an entry for a tuple newly inserted into the relation.
+	Insert(e Entry)
+	// Update records a texp change for an already-indexed tuple (the
+	// set-semantics duplicate-insert extension path).
+	Update(key string, t tuple.Tuple, texp xtime.Time)
+	// Remove drops the entry for a deleted or expired tuple.
+	Remove(key string, t tuple.Tuple)
+	// Len reports the number of entries (live and not-yet-removed).
+	Len() int
+	// Kind reports the organisation.
+	Kind() Kind
+	// Cols reports the indexed column positions.
+	Cols() []int
+}
+
+// ProbeKey encodes the indexed columns of t with the same self-delimiting
+// encoding the relation uses for set keys, so a plan-time constant probe
+// key and a maintenance-time tuple key compare equal exactly when the
+// column values do.
+func ProbeKey(t tuple.Tuple, cols []int) string {
+	return t.KeyCols(cols)
+}
+
+// Hash is the equality index: probe key -> entries with that key value.
+type Hash struct {
+	cols    []int
+	buckets map[string][]Entry
+	n       int
+}
+
+// NewHash creates an empty hash index over the given column positions.
+func NewHash(cols []int) *Hash {
+	return &Hash{cols: append([]int(nil), cols...), buckets: make(map[string][]Entry)}
+}
+
+// Kind implements Index.
+func (h *Hash) Kind() Kind { return KindHash }
+
+// Cols implements Index.
+func (h *Hash) Cols() []int { return h.cols }
+
+// Len implements Index.
+func (h *Hash) Len() int { return h.n }
+
+// Insert implements Index.
+func (h *Hash) Insert(e Entry) {
+	pk := ProbeKey(e.Tuple, h.cols)
+	h.buckets[pk] = append(h.buckets[pk], e)
+	h.n++
+}
+
+// Update implements Index.
+func (h *Hash) Update(key string, t tuple.Tuple, texp xtime.Time) {
+	pk := ProbeKey(t, h.cols)
+	b := h.buckets[pk]
+	for i := range b {
+		if b[i].Key == key {
+			b[i].Texp = texp
+			return
+		}
+	}
+	// The tuple was not indexed (e.g. the index was created between the
+	// row's insert and this update — cannot happen today because creation
+	// backfills, but stay self-healing).
+	h.buckets[pk] = append(b, Entry{Key: key, Tuple: t, Texp: texp})
+	h.n++
+}
+
+// Remove implements Index.
+func (h *Hash) Remove(key string, t tuple.Tuple) {
+	pk := ProbeKey(t, h.cols)
+	b := h.buckets[pk]
+	for i := range b {
+		if b[i].Key == key {
+			b[i] = b[len(b)-1]
+			b = b[:len(b)-1]
+			if len(b) == 0 {
+				delete(h.buckets, pk)
+			} else {
+				h.buckets[pk] = b
+			}
+			h.n--
+			return
+		}
+	}
+}
+
+// Probe emits every entry whose indexed columns encode to probeKey and
+// which is alive at tau (Texp > tau). emit returning false stops the
+// probe. The bucket walk allocates nothing.
+func (h *Hash) Probe(probeKey string, tau xtime.Time, emit func(Entry) bool) {
+	for _, e := range h.buckets[probeKey] {
+		if e.Texp > tau {
+			if !emit(e) {
+				return
+			}
+		}
+	}
+}
+
+// Ordered is the range index: a B+tree over the indexed column values
+// (compared column-by-column with value.Value.Compare, ties broken by the
+// full set key so duplicates on the indexed columns remain distinct
+// entries). Deletion is relaxed — leaves are never merged or rebalanced,
+// and separators are left in place (they remain valid bounds because
+// removal only shrinks subtrees). Range scans walk the leaf chain.
+type Ordered struct {
+	cols []int
+	root *onode
+	n    int
+}
+
+// maxEnts bounds entries per leaf and children per internal node; 64
+// keeps nodes around one cache line of pointers while staying shallow.
+const maxEnts = 64
+
+type onode struct {
+	leaf bool
+	ents []Entry  // leaf payload, sorted
+	seps []Entry  // internal: seps[i] = min entry of kids[i+1]'s subtree
+	kids []*onode // internal children; len(kids) == len(seps)+1
+	next *onode   // leaf chain
+}
+
+// NewOrdered creates an empty ordered index over the given column
+// positions.
+func NewOrdered(cols []int) *Ordered {
+	return &Ordered{cols: append([]int(nil), cols...)}
+}
+
+// Kind implements Index.
+func (o *Ordered) Kind() Kind { return KindOrdered }
+
+// Cols implements Index.
+func (o *Ordered) Cols() []int { return o.cols }
+
+// Len implements Index.
+func (o *Ordered) Len() int { return o.n }
+
+// cmp orders entries by the indexed columns, then by set key.
+func (o *Ordered) cmp(a, b Entry) int {
+	for _, c := range o.cols {
+		if d := a.Tuple[c].Compare(b.Tuple[c]); d != 0 {
+			return d
+		}
+	}
+	return strings.Compare(a.Key, b.Key)
+}
+
+// cmpBound compares an entry against a prefix bound: only the first
+// len(bound) indexed columns participate, so a bound on the leading
+// column(s) matches every tiebreak suffix.
+func (o *Ordered) cmpBound(e Entry, bound []value.Value) int {
+	for i, bv := range bound {
+		if d := e.Tuple[o.cols[i]].Compare(bv); d != 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// search returns the position of the first entry in ents that is >= e.
+func (o *Ordered) search(ents []Entry, e Entry) int {
+	lo, hi := 0, len(ents)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if o.cmp(ents[mid], e) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert implements Index.
+func (o *Ordered) Insert(e Entry) {
+	if o.root == nil {
+		o.root = &onode{leaf: true, ents: []Entry{e}}
+		o.n++
+		return
+	}
+	right, sep := o.insert(o.root, e)
+	if right != nil {
+		o.root = &onode{seps: []Entry{sep}, kids: []*onode{o.root, right}}
+	}
+	o.n++
+}
+
+// insert descends to the leaf for e, inserts, and splits full nodes on
+// the way back up, returning the new right sibling and its minimum entry
+// (nil when no split happened).
+func (o *Ordered) insert(n *onode, e Entry) (*onode, Entry) {
+	if n.leaf {
+		i := o.search(n.ents, e)
+		n.ents = append(n.ents, Entry{})
+		copy(n.ents[i+1:], n.ents[i:])
+		n.ents[i] = e
+		if len(n.ents) <= maxEnts {
+			return nil, Entry{}
+		}
+		mid := len(n.ents) / 2
+		right := &onode{leaf: true, ents: append([]Entry(nil), n.ents[mid:]...), next: n.next}
+		n.ents = n.ents[:mid:mid]
+		n.next = right
+		return right, right.ents[0]
+	}
+	k := o.childFor(n, e)
+	right, sep := o.insert(n.kids[k], e)
+	if right == nil {
+		return nil, Entry{}
+	}
+	n.seps = append(n.seps, Entry{})
+	copy(n.seps[k+1:], n.seps[k:])
+	n.seps[k] = sep
+	n.kids = append(n.kids, nil)
+	copy(n.kids[k+2:], n.kids[k+1:])
+	n.kids[k+1] = right
+	if len(n.kids) <= maxEnts {
+		return nil, Entry{}
+	}
+	mid := len(n.kids) / 2
+	up := n.seps[mid-1]
+	r := &onode{
+		seps: append([]Entry(nil), n.seps[mid:]...),
+		kids: append([]*onode(nil), n.kids[mid:]...),
+	}
+	n.seps = n.seps[: mid-1 : mid-1]
+	n.kids = n.kids[:mid:mid]
+	return r, up
+}
+
+// childFor picks the subtree that may contain e: the last child whose
+// separator is <= e.
+func (o *Ordered) childFor(n *onode, e Entry) int {
+	lo, hi := 0, len(n.seps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if o.cmp(n.seps[mid], e) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Update implements Index.
+func (o *Ordered) Update(key string, t tuple.Tuple, texp xtime.Time) {
+	e := Entry{Key: key, Tuple: t}
+	n := o.root
+	if n == nil {
+		o.Insert(Entry{Key: key, Tuple: t, Texp: texp})
+		return
+	}
+	for !n.leaf {
+		n = n.kids[o.childFor(n, e)]
+	}
+	i := o.search(n.ents, e)
+	if i < len(n.ents) && n.ents[i].Key == key {
+		n.ents[i].Texp = texp
+		return
+	}
+	o.Insert(Entry{Key: key, Tuple: t, Texp: texp}) // self-heal (see Hash.Update)
+}
+
+// Remove implements Index.
+func (o *Ordered) Remove(key string, t tuple.Tuple) {
+	if o.root == nil {
+		return
+	}
+	e := Entry{Key: key, Tuple: t}
+	n := o.root
+	for !n.leaf {
+		n = n.kids[o.childFor(n, e)]
+	}
+	i := o.search(n.ents, e)
+	if i < len(n.ents) && n.ents[i].Key == key {
+		n.ents = append(n.ents[:i], n.ents[i+1:]...)
+		o.n--
+	}
+}
+
+// Ascend emits, in index order, every entry within the prefix bounds that
+// is alive at tau. lo/hi are bounds on the leading index columns (nil =
+// unbounded on that side); loInc/hiInc select >=/> and <=/<. emit
+// returning false stops the scan.
+func (o *Ordered) Ascend(lo []value.Value, loInc bool, hi []value.Value, hiInc bool, tau xtime.Time, emit func(Entry) bool) {
+	n := o.root
+	if n == nil {
+		return
+	}
+	for !n.leaf {
+		n = n.kids[o.lowerChild(n, lo)]
+	}
+	// Skip entries below the lower bound, then stream until the upper
+	// bound is crossed. Entries are sorted, so once the lower bound is
+	// satisfied it stays satisfied.
+	started := lo == nil
+	for ; n != nil; n = n.next {
+		for i := range n.ents {
+			e := &n.ents[i]
+			if !started {
+				c := o.cmpBound(*e, lo)
+				if c < 0 || (c == 0 && !loInc) {
+					continue
+				}
+				started = true
+			}
+			if hi != nil {
+				c := o.cmpBound(*e, hi)
+				if c > 0 || (c == 0 && !hiInc) {
+					return
+				}
+			}
+			if e.Texp > tau {
+				if !emit(*e) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// lowerChild picks the leftmost subtree that may contain entries at or
+// above the prefix bound: the last child whose separator is strictly
+// below lo (on separator/prefix ties we go left, which may start the leaf
+// walk slightly early but never skips a qualifying entry).
+func (o *Ordered) lowerChild(n *onode, lo []value.Value) int {
+	if lo == nil {
+		return 0
+	}
+	k := 0
+	for k < len(n.seps) && o.cmpBound(n.seps[k], lo) < 0 {
+		k++
+	}
+	return k
+}

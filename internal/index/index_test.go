@@ -1,0 +1,230 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"expdb/internal/tuple"
+	"expdb/internal/value"
+	"expdb/internal/xtime"
+)
+
+func mk(a, b int64, texp xtime.Time) Entry {
+	t := tuple.Tuple{value.Int(a), value.Int(b)}
+	return Entry{Key: t.Key(), Tuple: t, Texp: texp}
+}
+
+func TestHashProbeSkipsExpired(t *testing.T) {
+	h := NewHash([]int{0})
+	h.Insert(mk(1, 10, 5))
+	h.Insert(mk(1, 11, 20))
+	h.Insert(mk(2, 12, xtime.Infinity))
+	probe := ProbeKey(tuple.Tuple{value.Int(1)}, []int{0})
+	var got []int64
+	h.Probe(probe, 5, func(e Entry) bool {
+		got = append(got, e.Tuple[1].AsInt())
+		return true
+	})
+	if len(got) != 1 || got[0] != 11 {
+		t.Fatalf("probe at tau=5: want [11], got %v", got)
+	}
+	// tau=4: both (1,·) rows alive.
+	got = nil
+	h.Probe(probe, 4, func(e Entry) bool { got = append(got, e.Tuple[1].AsInt()); return true })
+	if len(got) != 2 {
+		t.Fatalf("probe at tau=4: want 2 rows, got %v", got)
+	}
+}
+
+func TestHashUpdateRemove(t *testing.T) {
+	h := NewHash([]int{0})
+	e := mk(7, 1, 10)
+	h.Insert(e)
+	h.Update(e.Key, e.Tuple, 50)
+	probe := ProbeKey(e.Tuple, []int{0})
+	var texp xtime.Time
+	h.Probe(probe, 10, func(e Entry) bool { texp = e.Texp; return true })
+	if texp != 50 {
+		t.Fatalf("after update: want texp=50, got %d", texp)
+	}
+	h.Remove(e.Key, e.Tuple)
+	if h.Len() != 0 {
+		t.Fatalf("after remove: want empty, got %d", h.Len())
+	}
+}
+
+// TestOrderedAgainstOracle drives a random workload of inserts, texp
+// updates and removes through the B+tree and a sorted-slice oracle, and
+// checks every range scan agrees.
+func TestOrderedAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	o := NewOrdered([]int{0})
+	oracle := map[string]Entry{}
+	for step := 0; step < 5000; step++ {
+		a := int64(rng.Intn(200))
+		b := int64(rng.Intn(5))
+		e := mk(a, b, xtime.Time(rng.Intn(100)+1))
+		switch op := rng.Intn(10); {
+		case op < 6: // insert (fresh identity only, like the relation does)
+			if _, dup := oracle[e.Key]; !dup {
+				o.Insert(e)
+				oracle[e.Key] = e
+			}
+		case op < 8: // texp update of an existing entry
+			if old, ok := oracle[e.Key]; ok {
+				old.Texp = e.Texp
+				oracle[e.Key] = old
+				o.Update(e.Key, e.Tuple, e.Texp)
+			}
+		default: // remove
+			if _, ok := oracle[e.Key]; ok {
+				delete(oracle, e.Key)
+				o.Remove(e.Key, e.Tuple)
+			}
+		}
+	}
+	if o.Len() != len(oracle) {
+		t.Fatalf("size mismatch: tree %d, oracle %d", o.Len(), len(oracle))
+	}
+	cmp := func(x, y Entry) bool {
+		if d := x.Tuple[0].Compare(y.Tuple[0]); d != 0 {
+			return d < 0
+		}
+		return x.Key < y.Key
+	}
+	for trial := 0; trial < 200; trial++ {
+		tau := xtime.Time(rng.Intn(110))
+		loV, hiV := int64(rng.Intn(220)-10), int64(rng.Intn(220)-10)
+		var lo, hi []value.Value
+		loInc, hiInc := rng.Intn(2) == 0, rng.Intn(2) == 0
+		if rng.Intn(4) > 0 {
+			lo = []value.Value{value.Int(loV)}
+		}
+		if rng.Intn(4) > 0 {
+			hi = []value.Value{value.Int(hiV)}
+		}
+		var want []Entry
+		for _, e := range oracle {
+			if e.Texp <= tau {
+				continue
+			}
+			if lo != nil {
+				c := e.Tuple[0].Compare(lo[0])
+				if c < 0 || (c == 0 && !loInc) {
+					continue
+				}
+			}
+			if hi != nil {
+				c := e.Tuple[0].Compare(hi[0])
+				if c > 0 || (c == 0 && !hiInc) {
+					continue
+				}
+			}
+			want = append(want, e)
+		}
+		sort.Slice(want, func(i, j int) bool { return cmp(want[i], want[j]) })
+		var got []Entry
+		o.Ascend(lo, loInc, hi, hiInc, tau, func(e Entry) bool {
+			got = append(got, e)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: scan [%v,%v] tau=%d: tree %d rows, oracle %d", trial, lo, hi, tau, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Key != want[i].Key || got[i].Texp != want[i].Texp {
+				t.Fatalf("trial %d row %d: tree %+v, oracle %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOrderedEarlyStop(t *testing.T) {
+	o := NewOrdered([]int{0})
+	for i := int64(0); i < 300; i++ {
+		o.Insert(mk(i, 0, xtime.Infinity))
+	}
+	seen := 0
+	o.Ascend(nil, true, nil, true, 0, func(Entry) bool {
+		seen++
+		return seen < 10
+	})
+	if seen != 10 {
+		t.Fatalf("early stop: want 10 emissions, got %d", seen)
+	}
+}
+
+func TestTexpHeap(t *testing.T) {
+	live := map[string]xtime.Time{}
+	current := func(k string) (xtime.Time, bool) { v, ok := live[k]; return v, ok }
+	th := NewTexpHeap()
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		texp := xtime.Time(100 - i)
+		live[k] = texp
+		th.Push(k, texp)
+	}
+	th.Push("never", xtime.Infinity)
+	if th.Len() != 100 {
+		t.Fatalf("infinity must not be retained: len=%d", th.Len())
+	}
+	if got := th.Next(current); got != 1 {
+		t.Fatalf("Next: want 1, got %d", got)
+	}
+	// Extend k099 (texp 1 -> 500): the heap pair goes stale.
+	live["k099"] = 500
+	th.Push("k099", 500)
+	if got := th.Next(current); got != 2 {
+		t.Fatalf("Next after extension: want 2, got %d", got)
+	}
+	// Delete k098 (texp 2): stale too.
+	delete(live, "k098")
+	if got := th.Next(current); got != 3 {
+		t.Fatalf("Next after delete: want 3, got %d", got)
+	}
+	var fired []xtime.Time
+	n := th.PopDue(50, current, func(k string, texp xtime.Time) {
+		delete(live, k)
+		fired = append(fired, texp)
+	})
+	// texp 3..50 inclusive = 48 rows.
+	if n != 48 || len(fired) != 48 {
+		t.Fatalf("PopDue(50): want 48 expirations, got %d", n)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i-1] > fired[i] {
+			t.Fatalf("PopDue must fire in texp order: %v", fired)
+		}
+	}
+	if got := th.Next(current); got != 51 {
+		t.Fatalf("Next after PopDue: want 51, got %d", got)
+	}
+}
+
+func TestOrderedCompositeTiebreak(t *testing.T) {
+	o := NewOrdered([]int{0, 1})
+	o.Insert(mk(1, 2, xtime.Infinity))
+	o.Insert(mk(1, 1, xtime.Infinity))
+	o.Insert(mk(0, 9, xtime.Infinity))
+	var got [][2]int64
+	o.Ascend(nil, true, nil, true, 0, func(e Entry) bool {
+		got = append(got, [2]int64{e.Tuple[0].AsInt(), e.Tuple[1].AsInt()})
+		return true
+	})
+	want := [][2]int64{{0, 9}, {1, 1}, {1, 2}}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("composite order: want %v, got %v", want, got)
+	}
+	// Prefix bound on the first column only.
+	got = nil
+	o.Ascend([]value.Value{value.Int(1)}, true, []value.Value{value.Int(1)}, true, 0, func(e Entry) bool {
+		got = append(got, [2]int64{e.Tuple[0].AsInt(), e.Tuple[1].AsInt()})
+		return true
+	})
+	want = [][2]int64{{1, 1}, {1, 2}}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("prefix bound: want %v, got %v", want, got)
+	}
+}

@@ -1,0 +1,134 @@
+package index
+
+import "expdb/internal/xtime"
+
+// TexpHeap is the per-table texp-ordered index: a binary min-heap of
+// (texp, set key) pairs with lazy deletion. It makes the two operations
+// the engine used to answer with an O(n) scan cheap:
+//
+//   - NextExpiration (the per-table texp(e) floor) becomes a peek after
+//     discarding stale tops, and
+//   - sweep-candidate enumeration (every row with texp <= tick) becomes
+//     O(k log n) pops instead of a full-table walk.
+//
+// Deletes and texp extensions do not search the heap; they simply leave a
+// stale pair behind. A pair is authoritative only if the owning
+// relation's current texp for the key still equals the pair's texp — the
+// relation verifies that through the alive callback, and stale pairs are
+// discarded as they surface. Infinite texp is never pushed (those rows
+// never expire, so they have no business in an expiration queue).
+type TexpHeap struct {
+	h []texpPair
+}
+
+type texpPair struct {
+	texp xtime.Time
+	key  string
+}
+
+// NewTexpHeap returns an empty heap.
+func NewTexpHeap() *TexpHeap { return &TexpHeap{} }
+
+// Len reports the number of retained pairs, stale ones included.
+func (th *TexpHeap) Len() int { return len(th.h) }
+
+// Push records that key currently expires at texp. Infinity is ignored.
+func (th *TexpHeap) Push(key string, texp xtime.Time) {
+	if texp == xtime.Infinity {
+		return
+	}
+	th.h = append(th.h, texpPair{texp: texp, key: key})
+	i := len(th.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if th.h[p].texp <= th.h[i].texp {
+			break
+		}
+		th.h[p], th.h[i] = th.h[i], th.h[p]
+		i = p
+	}
+}
+
+// Next returns the smallest authoritative texp, destructively discarding
+// stale tops. current reports the key's live expiration time (Infinity or
+// absence means "not expiring"); a top whose texp disagrees is stale.
+// Returns Infinity when nothing is pending.
+func (th *TexpHeap) Next(current func(key string) (xtime.Time, bool)) xtime.Time {
+	for len(th.h) > 0 {
+		top := th.h[0]
+		if t, ok := current(top.key); ok && t == top.texp {
+			return top.texp
+		}
+		th.pop()
+	}
+	return xtime.Infinity
+}
+
+// NextAfter returns the smallest authoritative texp strictly greater
+// than tau, or Infinity. Stale tops are discarded destructively;
+// authoritative pairs at or below tau (rows logically expired but not yet
+// swept, under lazy removal) are set aside and re-pushed — they must
+// survive for the sweep that will remove them. The side buffer is empty
+// under eager removal and bounded by one sweep period's backlog under
+// lazy removal.
+func (th *TexpHeap) NextAfter(tau xtime.Time, current func(key string) (xtime.Time, bool)) xtime.Time {
+	var side []texpPair
+	next := xtime.Infinity
+	for len(th.h) > 0 {
+		top := th.h[0]
+		t, ok := current(top.key)
+		if !ok || t != top.texp {
+			th.pop()
+			continue
+		}
+		if top.texp > tau {
+			next = top.texp
+			break
+		}
+		side = append(side, th.pop())
+	}
+	for _, p := range side {
+		th.Push(p.key, p.texp)
+	}
+	return next
+}
+
+// PopDue pops every authoritative pair with texp <= tick, calling expire
+// for each. Stale pairs encountered on the way are discarded silently.
+// Returns the number of expirations delivered.
+func (th *TexpHeap) PopDue(tick xtime.Time, current func(key string) (xtime.Time, bool), expire func(key string, texp xtime.Time)) int {
+	n := 0
+	for len(th.h) > 0 && th.h[0].texp <= tick {
+		top := th.pop()
+		if t, ok := current(top.key); ok && t == top.texp {
+			expire(top.key, top.texp)
+			n++
+		}
+	}
+	return n
+}
+
+func (th *TexpHeap) pop() texpPair {
+	top := th.h[0]
+	last := len(th.h) - 1
+	th.h[0] = th.h[last]
+	th.h[last] = texpPair{} // release the key string
+	th.h = th.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && th.h[l].texp < th.h[small].texp {
+			small = l
+		}
+		if r < last && th.h[r].texp < th.h[small].texp {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		th.h[i], th.h[small] = th.h[small], th.h[i]
+		i = small
+	}
+	return top
+}

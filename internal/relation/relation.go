@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"expdb/internal/index"
 	"expdb/internal/tuple"
 	"expdb/internal/value"
 	"expdb/internal/xtime"
@@ -57,6 +58,22 @@ type Relation struct {
 	// immutable) and the write goes to the private copy, so snapshots
 	// handed out earlier never observe later mutations.
 	shared bool
+	// indexes are the attached secondary indexes, maintained inline by
+	// every mutator under the caller's write lock. Only engine-owned base
+	// tables carry them; snapshots, clones and operator results never do
+	// (New starts with none and Snapshot/SnapshotShared/Clone do not copy
+	// them), so result-relation churn pays nothing.
+	indexes []NamedIndex
+	// texpIdx is the per-table texp-ordered index (a lazy-deletion
+	// min-heap): it makes NextExpiration a peek and RemoveExpired O(k)
+	// instead of O(n). Enabled by the engine on base tables.
+	texpIdx *index.TexpHeap
+}
+
+// NamedIndex pairs an attached secondary index with its catalog name.
+type NamedIndex struct {
+	Name string
+	Idx  index.Index
 }
 
 // lockSeq hands out the global lock-acquisition order of relations.
@@ -162,11 +179,14 @@ func (r *Relation) InsertKeyed(key string, t tuple.Tuple, texp xtime.Time) (chan
 	if old, ok := r.rows[key]; ok {
 		if texp > old.Texp {
 			r.rows[key] = Row{Tuple: old.Tuple, Texp: texp}
+			r.idxUpdate(key, old.Tuple, texp)
 			return true, old.Texp, true
 		}
 		return false, old.Texp, true
 	}
-	r.rows[key] = Row{Tuple: t.Clone(), Texp: texp}
+	ct := t.Clone()
+	r.rows[key] = Row{Tuple: ct, Texp: texp}
+	r.idxInsert(key, ct, texp)
 	return true, 0, false
 }
 
@@ -181,11 +201,13 @@ func (r *Relation) InsertOwned(key string, t tuple.Tuple, texp xtime.Time) bool 
 	if old, ok := r.rows[key]; ok {
 		if texp > old.Texp {
 			r.rows[key] = Row{Tuple: old.Tuple, Texp: texp}
+			r.idxUpdate(key, old.Tuple, texp)
 			return true
 		}
 		return false
 	}
 	r.rows[key] = Row{Tuple: t, Texp: texp}
+	r.idxInsert(key, t, texp)
 	return true
 }
 
@@ -205,11 +227,13 @@ func (r *Relation) Delete(t tuple.Tuple) bool {
 // DeleteKey removes the tuple stored under key (a value of Tuple.Key),
 // reporting whether it was present.
 func (r *Relation) DeleteKey(key string) bool {
-	if row, ok := r.rows[key]; !ok || row.Texp <= r.floor {
+	row, ok := r.rows[key]
+	if !ok || row.Texp <= r.floor {
 		return false
 	}
 	r.detach()
 	delete(r.rows, key)
+	r.idxRemove(key, row.Tuple)
 	return true
 }
 
@@ -328,14 +352,26 @@ func (r *Relation) Clone() *Relation {
 
 // RemoveExpired physically deletes rows with texp ≤ tau and returns them.
 // This is the eager/lazy removal hook of §3.2: eager engines call it on
-// every expiration event, lazy ones batch calls.
+// every expiration event, lazy ones batch calls. With the texp-ordered
+// index enabled the candidates are enumerated by popping the heap —
+// O(k log n) for k removals — instead of walking the whole table.
 func (r *Relation) RemoveExpired(tau xtime.Time) []Row {
 	r.detach()
 	var removed []Row
+	if r.texpIdx != nil {
+		r.texpIdx.PopDue(tau, r.currentTexp, func(key string, _ xtime.Time) {
+			row := r.rows[key]
+			removed = append(removed, row)
+			delete(r.rows, key)
+			r.idxRemove(key, row.Tuple)
+		})
+		return removed
+	}
 	for k, row := range r.rows {
 		if row.Texp <= tau {
 			removed = append(removed, row)
 			delete(r.rows, k)
+			r.idxRemove(k, row.Tuple)
 		}
 	}
 	return removed
@@ -343,9 +379,13 @@ func (r *Relation) RemoveExpired(tau xtime.Time) []Row {
 
 // NextExpiration returns the smallest finite texp strictly greater than
 // tau, or Infinity when no stored tuple expires after tau. Engines use it
-// to schedule sweeps and triggers.
+// to schedule sweeps and triggers. With the texp-ordered index this is a
+// heap peek (plus discarding stale pairs) instead of an O(n) scan.
 func (r *Relation) NextExpiration(tau xtime.Time) xtime.Time {
 	tau = r.effTau(tau)
+	if r.texpIdx != nil {
+		return r.texpIdx.NextAfter(tau, r.currentTexp)
+	}
 	next := xtime.Infinity
 	for _, row := range r.rows {
 		if row.Texp > tau && row.Texp < next {
@@ -353,6 +393,16 @@ func (r *Relation) NextExpiration(tau xtime.Time) xtime.Time {
 		}
 	}
 	return next
+}
+
+// currentTexp is the texp-heap's staleness oracle: the live expiration
+// time stored for key, if any.
+func (r *Relation) currentTexp(key string) (xtime.Time, bool) {
+	row, ok := r.rows[key]
+	if !ok {
+		return 0, false
+	}
+	return row.Texp, true
 }
 
 // Rows returns the rows of expτ(R) in unspecified order — the
@@ -432,6 +482,91 @@ func (r *Relation) Render(tau xtime.Time) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// idxInsert fans a fresh row out to every attached index. t must be the
+// stored tuple (the relation's own storage), never a caller-owned one.
+func (r *Relation) idxInsert(key string, t tuple.Tuple, texp xtime.Time) {
+	for _, ni := range r.indexes {
+		ni.Idx.Insert(index.Entry{Key: key, Tuple: t, Texp: texp})
+	}
+	if r.texpIdx != nil {
+		r.texpIdx.Push(key, texp)
+	}
+}
+
+// idxUpdate records a texp extension (set-semantics duplicate insert).
+// The old heap pair goes stale and is discarded lazily.
+func (r *Relation) idxUpdate(key string, t tuple.Tuple, texp xtime.Time) {
+	for _, ni := range r.indexes {
+		ni.Idx.Update(key, t, texp)
+	}
+	if r.texpIdx != nil {
+		r.texpIdx.Push(key, texp)
+	}
+}
+
+// idxRemove drops a deleted/expired row from the secondary indexes. The
+// texp heap is left alone: its pair is stale now and Next/PopDue discard
+// it when it surfaces.
+func (r *Relation) idxRemove(key string, t tuple.Tuple) {
+	for _, ni := range r.indexes {
+		ni.Idx.Remove(key, t)
+	}
+}
+
+// AttachIndex attaches idx under name and backfills it from every stored
+// row (expired-but-unswept rows included — probes filter by tau, and the
+// sweep will remove them from the index like any other row). Caller holds
+// the write lock. Backfilling at attach time is what makes WAL replay
+// order-independent: a CREATE INDEX replayed after its table's inserts
+// sees them here, and inserts replayed later flow through the hooks.
+func (r *Relation) AttachIndex(name string, idx index.Index) {
+	for k, row := range r.rows {
+		if row.Texp > r.floor {
+			idx.Insert(index.Entry{Key: k, Tuple: row.Tuple, Texp: row.Texp})
+		}
+	}
+	r.indexes = append(r.indexes, NamedIndex{Name: name, Idx: idx})
+}
+
+// DetachIndex removes the named index, reporting whether it was attached.
+func (r *Relation) DetachIndex(name string) bool {
+	for i, ni := range r.indexes {
+		if ni.Name == name {
+			r.indexes = append(r.indexes[:i], r.indexes[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// IndexNamed returns the attached index with the given name, or nil. The
+// executor resolves plan-time index choices through it at stream time, so
+// a concurrently dropped index degrades to a scan instead of failing.
+func (r *Relation) IndexNamed(name string) index.Index {
+	for _, ni := range r.indexes {
+		if ni.Name == name {
+			return ni.Idx
+		}
+	}
+	return nil
+}
+
+// Indexes returns the attached named indexes (the engine's catalog view).
+func (r *Relation) Indexes() []NamedIndex { return r.indexes }
+
+// EnableTexpIndex turns on the texp-ordered index, backfilling it from
+// the stored rows. Idempotent; caller holds the write lock.
+func (r *Relation) EnableTexpIndex() {
+	if r.texpIdx != nil {
+		return
+	}
+	th := index.NewTexpHeap()
+	for k, row := range r.rows {
+		th.Push(k, row.Texp)
+	}
+	r.texpIdx = th
 }
 
 // Index is a hash index over a column subset, mapping projected keys to

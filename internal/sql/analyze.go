@@ -33,9 +33,16 @@ type analyzed struct {
 	wall    time.Duration // cumulative, children included — the SQL EXPLAIN ANALYZE convention
 }
 
-// instrument builds the wrapper tree bottom-up.
+// instrument builds the wrapper tree bottom-up. IndexScan is wrapped
+// atomically: rebuilding it over a wrapped Base would degrade the probe
+// to its scan fallback (ReplaceChildren only keeps the probe when the
+// child is the literal *Base), and ANALYZE must measure the plan that a
+// SELECT would actually run.
 func instrument(e algebra.Expr) (*analyzed, error) {
 	a := &analyzed{orig: e, inner: e}
+	if _, ok := e.(*algebra.IndexScan); ok {
+		return a, nil
+	}
 	children := e.Children()
 	if len(children) == 0 {
 		return a, nil
@@ -91,10 +98,16 @@ func (a *analyzed) Eval(tau xtime.Time) (*relation.Relation, error) {
 	}
 	a.ran = true
 	a.rowsOut = out.CountAt(tau)
-	if b, ok := a.orig.(*algebra.Base); ok {
+	switch a.orig.(type) {
+	case *algebra.Base:
+		b := a.orig.(*algebra.Base)
 		a.rowsIn = b.Rel.Len() // safe: the engine holds this base's read lock
 		a.expired = a.rowsIn - a.rowsOut
-	} else {
+	case *algebra.IndexScan:
+		// The probe emits only alive, matching entries; expired index
+		// entries are skipped inside the index, not filtered here.
+		a.rowsIn = a.rowsOut
+	default:
 		a.rowsIn = 0
 		for _, k := range a.kids {
 			a.rowsIn += k.rowsOut
@@ -111,7 +124,7 @@ func (a *analyzed) Eval(tau xtime.Time) (*relation.Relation, error) {
 // figures describe the same frozen instant. key is the plan's result
 // cache key ("" when the plan is uncacheable); ANALYZE probes the cache
 // state without serving from it, because its purpose is the actuals.
-func (s *Session) execExplainAnalyze(expr, rewritten algebra.Expr, key string) (*Result, error) {
+func (s *Session) execExplainAnalyze(expr, rewritten, phys algebra.Expr, choices []planChoice, key string) (*Result, error) {
 	var cacheLine string
 	if key == "" {
 		cacheLine = "uncacheable (plan embeds a view snapshot)"
@@ -125,7 +138,7 @@ func (s *Session) execExplainAnalyze(expr, rewritten algebra.Expr, key string) (
 			cacheLine = "miss (" + probe + ")"
 		}
 	}
-	root, err := instrument(rewritten)
+	root, err := instrument(phys)
 	if err != nil {
 		return nil, err
 	}
@@ -141,10 +154,10 @@ func (s *Session) execExplainAnalyze(expr, rewritten algebra.Expr, key string) (
 		var err error
 		// Plan-time prediction first, then the instrumented execution;
 		// both under the same locks and instant.
-		if planTexp, err = rewritten.ExprTexp(now); err != nil {
+		if planTexp, err = phys.ExprTexp(now); err != nil {
 			return err
 		}
-		if validity, err = rewritten.Validity(now); err != nil {
+		if validity, err = phys.Validity(now); err != nil {
 			return err
 		}
 		rel, err = root.Eval(now)
@@ -154,13 +167,19 @@ func (s *Session) execExplainAnalyze(expr, rewritten algebra.Expr, key string) (
 	if err != nil {
 		return nil, err
 	}
+	// Feed the observed cardinalities back to the cost model: the next
+	// plan for these fragments starts from measured rows, not guesses.
+	s.harvestActuals(root)
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan:      %s\n", expr)
 	if rewritten.String() != expr.String() {
 		fmt.Fprintf(&b, "rewritten: %s\n", rewritten)
 	}
+	if phys.String() != rewritten.String() {
+		fmt.Fprintf(&b, "physical:  %s\n", phys)
+	}
 	fmt.Fprintf(&b, "as-of:     t=%s (execution snapshot; plan and actual derivations share it)\n", now)
-	fmt.Fprintf(&b, "monotonic: %v\n", rewritten.Monotonic())
+	fmt.Fprintf(&b, "monotonic: %v\n", phys.Monotonic())
 	if root.texpErr == nil && root.texp != planTexp {
 		fmt.Fprintf(&b, "texp(e):   plan=%s actual=%s\n", planTexp, root.texp)
 	} else {
@@ -169,9 +188,32 @@ func (s *Session) execExplainAnalyze(expr, rewritten algebra.Expr, key string) (
 	fmt.Fprintf(&b, "validity:  %s\n", validity)
 	fmt.Fprintf(&b, "cache:     %s\n", cacheLine)
 	fmt.Fprintf(&b, "actual:    %d row(s), wall %s, trace %s\n", root.rowsOut, root.wall, s.tid)
+	if len(choices) > 0 {
+		b.WriteString("access paths:\n")
+		for _, c := range choices {
+			for _, line := range c.lines() {
+				b.WriteString("  " + line + "\n")
+			}
+		}
+	}
 	b.WriteString("tree:\n")
 	analyzeNode(&b, root, "", "")
 	return &Result{Rel: rel, At: now, Msg: strings.TrimRight(b.String(), "\n")}, nil
+}
+
+// harvestActuals records each executed node's observed output
+// cardinality under its plan string, for the cost model's use.
+func (s *Session) harvestActuals(a *analyzed) {
+	if !a.ran {
+		return
+	}
+	if s.actuals == nil {
+		s.actuals = make(map[string]int)
+	}
+	s.actuals[a.orig.String()] = a.rowsOut
+	for _, k := range a.kids {
+		s.harvestActuals(k)
+	}
 }
 
 // analyzeNode renders one wrapper node: the plan annotations explainNode

@@ -168,6 +168,24 @@ type CreateView struct {
 
 func (*CreateView) stmt() {}
 
+// CreateIndex is CREATE INDEX name ON table (col, ...) [USING HASH|ORDERED].
+type CreateIndex struct {
+	Name  string
+	Table string
+	Cols  []string
+	Using string // "", "HASH", "ORDERED" (BTREE is an alias for ORDERED)
+	// Src is the statement's verbatim source text, stamped by the parser
+	// and logged to the WAL so recovery can recompile the index.
+	Src string
+}
+
+func (*CreateIndex) stmt() {}
+
+// DropIndex is DROP INDEX name.
+type DropIndex struct{ Name string }
+
+func (*DropIndex) stmt() {}
+
 // CreateTrigger is CREATE TRIGGER name ON table ON EXPIRE DO NOTIFY 'msg'.
 type CreateTrigger struct {
 	Name    string

@@ -59,6 +59,7 @@ var keywords = map[string]bool{
 	"ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
 	"ANALYZE": true, "EVENTS": true, "TRACES": true, "CACHE": true,
 	"HISTORY": true, "HEALTH": true,
+	"INDEX": true, "INDEXES": true, "USING": true,
 }
 
 // lex tokenises input, reporting the first malformed lexeme as an error.

@@ -22,13 +22,15 @@ const (
 	StmtShow
 	StmtRefresh
 	StmtExplain
+	StmtCreateIndex
+	StmtDropIndex
 	numStmtKinds
 )
 
 var stmtKindNames = [numStmtKinds]string{
 	"other", "select", "insert", "delete", "create_table", "drop_table",
 	"create_view", "create_trigger", "advance", "set", "show", "refresh",
-	"explain",
+	"explain", "create_index", "drop_index",
 }
 
 func (k StmtKind) String() string {
@@ -65,6 +67,10 @@ func kindOf(stmt Statement) StmtKind {
 		return StmtRefresh
 	case *Explain:
 		return StmtExplain
+	case *CreateIndex:
+		return StmtCreateIndex
+	case *DropIndex:
+		return StmtDropIndex
 	default:
 		return StmtOther
 	}

@@ -63,8 +63,11 @@ func ParseScript(input string) ([]Statement, error) {
 // EOF — string-literal tokens carry their end offset, but a statement
 // never ends the input with one of those unclosed).
 func stampSrc(stmt Statement, input string, start, end int) {
-	if cv, ok := stmt.(*CreateView); ok {
-		cv.Src = strings.TrimSpace(input[start:end])
+	switch st := stmt.(type) {
+	case *CreateView:
+		st.Src = strings.TrimSpace(input[start:end])
+	case *CreateIndex:
+		st.Src = strings.TrimSpace(input[start:end])
 	}
 }
 
@@ -122,6 +125,13 @@ func (p *parser) statement() (Statement, error) {
 	case p.at(tokKeyword, "CREATE"):
 		return p.create()
 	case p.accept(tokKeyword, "DROP"):
+		if p.accept(tokKeyword, "INDEX") {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &DropIndex{Name: name}, nil
+		}
 		if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
 			return nil, err
 		}
@@ -155,7 +165,7 @@ func (p *parser) statement() (Statement, error) {
 		}
 		return &SetPolicy{Policy: name}, nil
 	case p.accept(tokKeyword, "SHOW"):
-		for _, what := range []string{"TABLES", "VIEWS", "TIME", "STATS", "METRICS", "CACHE", "EVENTS", "TRACES", "HISTORY", "HEALTH"} {
+		for _, what := range []string{"TABLES", "VIEWS", "INDEXES", "TIME", "STATS", "METRICS", "CACHE", "EVENTS", "TRACES", "HISTORY", "HEALTH"} {
 			if p.accept(tokKeyword, what) {
 				show := &Show{What: what}
 				if what == "HISTORY" && p.at(tokIdent, "") {
@@ -175,7 +185,7 @@ func (p *parser) statement() (Statement, error) {
 				return show, nil
 			}
 		}
-		return nil, fmt.Errorf("sql: SHOW expects TABLES, VIEWS, TIME, STATS, METRICS, CACHE, EVENTS, TRACES, HISTORY or HEALTH, got %s", p.peek())
+		return nil, fmt.Errorf("sql: SHOW expects TABLES, VIEWS, INDEXES, TIME, STATS, METRICS, CACHE, EVENTS, TRACES, HISTORY or HEALTH, got %s", p.peek())
 	case p.accept(tokKeyword, "REFRESH"):
 		if _, err := p.expect(tokKeyword, "VIEW"); err != nil {
 			return nil, err
@@ -221,9 +231,53 @@ func (p *parser) create() (Statement, error) {
 		return p.createView()
 	case p.accept(tokKeyword, "TRIGGER"):
 		return p.createTrigger()
+	case p.accept(tokKeyword, "INDEX"):
+		return p.createIndex()
 	default:
-		return nil, fmt.Errorf("sql: CREATE expects TABLE, [MATERIALIZED] VIEW or TRIGGER, got %s", p.peek())
+		return nil, fmt.Errorf("sql: CREATE expects TABLE, [MATERIALIZED] VIEW, TRIGGER or INDEX, got %s", p.peek())
 	}
+}
+
+// createIndex parses CREATE INDEX name ON table (col, ...) [USING kind].
+func (p *parser) createIndex() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	using := ""
+	if p.accept(tokKeyword, "USING") {
+		t := p.peek()
+		if t.kind != tokKeyword && t.kind != tokIdent {
+			return nil, fmt.Errorf("sql: USING expects an index kind (HASH, ORDERED, BTREE), got %s", t)
+		}
+		p.next()
+		using = strings.ToUpper(t.text)
+	}
+	return &CreateIndex{Name: name, Table: table, Cols: cols, Using: using}, nil
 }
 
 func (p *parser) createTable() (Statement, error) {

@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"expdb/internal/algebra"
+	"expdb/internal/catalog"
 	"expdb/internal/engine"
+	"expdb/internal/index"
 	"expdb/internal/interval"
 	"expdb/internal/monitor"
 	"expdb/internal/relation"
@@ -87,6 +89,11 @@ type Session struct {
 	// is baked into the plan and the read itself may have mutated the
 	// view, so the plan string is not a stable key.
 	viewReads int
+	// actuals maps plan-node strings to observed output cardinalities,
+	// harvested from EXPLAIN ANALYZE runs. The cost-based planner prefers
+	// them over its selectivity guesses, so analyzing a query teaches the
+	// session real cardinalities for subsequent plans.
+	actuals map[string]int
 }
 
 // ViewReads returns the session's cumulative count of view resolutions
@@ -253,17 +260,25 @@ func (s *Session) execStmt(stmt Statement) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		// The cache key is the canonical (selection-pushed) plan string —
-		// ORDER BY/LIMIT are presentation-level and applied after, so
-		// differently-dressed readings of the same relation share an
-		// entry. Plans that resolved a view are uncacheable: their tree
-		// embeds a point-in-time view snapshot.
+		// The cache key is the canonical (selection-pushed) LOGICAL plan
+		// string — ORDER BY/LIMIT are presentation-level and applied
+		// after, so differently-dressed readings of the same relation
+		// share an entry, and indexed and unindexed engines share keys
+		// because physical access-path choices never enter the key.
+		// Plans that resolved a view are uncacheable: their tree embeds a
+		// point-in-time view snapshot.
+		rewritten := algebra.PushDownSelections(expr)
 		key := ""
 		if s.viewReads == viewsBefore {
-			key = algebra.PushDownSelections(expr).String()
+			key = rewritten.String()
 		}
+		// Execute the cost-based physical plan: index probes for sargable
+		// selections, reordered joins, chosen build sides. Every
+		// substitution preserves rows, per-tuple expiration times and the
+		// derived validity interval, so the logical key stays honest.
+		phys, _ := s.optimize(rewritten)
 		sp = s.span.Child("execute")
-		qr, err := s.eng.QueryStamped(expr, key, s.tid)
+		qr, err := s.eng.QueryStamped(phys, key, s.tid)
 		sp.End()
 		if err != nil {
 			return nil, err
@@ -284,6 +299,15 @@ func (s *Session) execStmt(stmt Statement) (*Result, error) {
 
 	case *CreateView:
 		return s.execCreateView(st)
+
+	case *CreateIndex:
+		return s.execCreateIndex(st)
+
+	case *DropIndex:
+		if err := s.eng.DropIndex(st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: fmt.Sprintf("index %s dropped", st.Name), At: s.eng.Now()}, nil
 
 	case *CreateTrigger:
 		msg := st.Message
@@ -445,6 +469,43 @@ func (s *Session) execCreateView(st *CreateView) (*Result, error) {
 		st.Name, v.MaterializedAt(), v.Texp()), At: s.eng.Now()}, nil
 }
 
+func (s *Session) execCreateIndex(st *CreateIndex) (*Result, error) {
+	base, err := s.eng.Base(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := base.Schema()
+	cols := make([]int, len(st.Cols))
+	for i, name := range st.Cols {
+		idx := schema.ColumnIndex(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("sql: no column %s in table %s", name, st.Table)
+		}
+		cols[i] = idx
+	}
+	kind := index.KindHash
+	if st.Using != "" {
+		k, ok := index.ParseKind(st.Using)
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown index kind %q (HASH, ORDERED)", st.Using)
+		}
+		kind = k
+	}
+	def := &catalog.IndexDef{
+		Name:     st.Name,
+		Table:    st.Table,
+		Cols:     cols,
+		ColNames: append([]string(nil), st.Cols...),
+		Kind:     kind,
+		Def:      st.Src,
+	}
+	if err := s.eng.CreateIndex(def); err != nil {
+		return nil, err
+	}
+	return &Result{Msg: fmt.Sprintf("index %s on %s (%s) created using %s",
+		st.Name, st.Table, strings.Join(st.Cols, ", "), kind), At: s.eng.Now()}, nil
+}
+
 func (s *Session) execShow(st *Show) (*Result, error) {
 	switch st.What {
 	case "TABLES":
@@ -458,6 +519,21 @@ func (s *Session) execShow(st *Show) (*Result, error) {
 			}
 			lines = append(lines, fmt.Sprintf("%s: %s (texp %s, validity %s)",
 				name, v.Expr(), v.Texp(), v.Validity()))
+		}
+		return &Result{Msg: strings.Join(lines, "\n"), At: s.eng.Now()}, nil
+	case "INDEXES":
+		var lines []string
+		for _, def := range s.eng.Catalog().Indexes() {
+			entries := ""
+			if card, ok := s.eng.TableCard(def.Table); ok {
+				entries = fmt.Sprintf(" [%d rows]", card)
+			}
+			lines = append(lines, fmt.Sprintf("%s ON %s (%s) USING %s%s",
+				def.Name, def.Table, strings.Join(def.ColNames, ", "),
+				strings.ToUpper(def.Kind.String()), entries))
+		}
+		if len(lines) == 0 {
+			lines = append(lines, "no indexes")
 		}
 		return &Result{Msg: strings.Join(lines, "\n"), At: s.eng.Now()}, nil
 	case "TIME":
@@ -561,12 +637,13 @@ func (s *Session) execExplain(st *Explain) (*Result, error) {
 		return nil, err
 	}
 	rewritten := algebra.PushDownSelections(expr)
+	phys, choices := s.optimize(rewritten)
 	if st.Analyze {
 		key := ""
 		if s.viewReads == viewsBefore {
 			key = rewritten.String()
 		}
-		return s.execExplainAnalyze(expr, rewritten, key)
+		return s.execExplainAnalyze(expr, rewritten, phys, choices, key)
 	}
 	// Engine.Inspect holds the plan's base-relation read locks while we
 	// derive: texp(e), the validity intervals and every per-node
@@ -574,13 +651,13 @@ func (s *Session) execExplain(st *Explain) (*Result, error) {
 	// make the tree inconsistent with its own header.
 	var b strings.Builder
 	var now xtime.Time
-	err = s.eng.Inspect(rewritten, func(snap xtime.Time) error {
+	err = s.eng.Inspect(phys, func(snap xtime.Time) error {
 		now = snap
-		texp, err := rewritten.ExprTexp(now)
+		texp, err := phys.ExprTexp(now)
 		if err != nil {
 			return err
 		}
-		validity, err := rewritten.Validity(now)
+		validity, err := phys.Validity(now)
 		if err != nil {
 			return err
 		}
@@ -588,12 +665,23 @@ func (s *Session) execExplain(st *Explain) (*Result, error) {
 		if rewritten.String() != expr.String() {
 			fmt.Fprintf(&b, "rewritten: %s\n", rewritten)
 		}
+		if phys.String() != rewritten.String() {
+			fmt.Fprintf(&b, "physical:  %s\n", phys)
+		}
 		fmt.Fprintf(&b, "as-of:     t=%s (single snapshot; every derivation below uses this instant)\n", now)
-		fmt.Fprintf(&b, "monotonic: %v\n", rewritten.Monotonic())
+		fmt.Fprintf(&b, "monotonic: %v\n", phys.Monotonic())
 		fmt.Fprintf(&b, "texp(e):   %s\n", texp)
 		fmt.Fprintf(&b, "validity:  %s\n", validity)
+		if len(choices) > 0 {
+			b.WriteString("access paths:\n")
+			for _, c := range choices {
+				for _, line := range c.lines() {
+					b.WriteString("  " + line + "\n")
+				}
+			}
+		}
 		b.WriteString("tree:\n")
-		explainNode(&b, rewritten, now, "", "")
+		explainNode(&b, phys, now, "", "")
 		return nil
 	})
 	if err != nil {
@@ -649,7 +737,13 @@ func nodeLabel(e algebra.Expr) string {
 	case *algebra.Diff:
 		return "−"
 	case *algebra.Join:
-		return fmt.Sprintf("⋈[%s]", n.Pred)
+		side := ""
+		if n.BuildLeft {
+			side = ", build=left"
+		}
+		return fmt.Sprintf("⋈[%s%s]", n.Pred, side)
+	case *algebra.IndexScan:
+		return n.String()
 	case *algebra.Agg:
 		groups := make([]string, len(n.GroupCols))
 		for i, c := range n.GroupCols {

@@ -71,6 +71,14 @@ const (
 	// before Texp (without moving the lazy sweep grid). Replay removes
 	// the same tuples without re-firing their triggers.
 	KindSweep Kind = 8
+	// KindCreateIndex: DDL — a secondary index was created; Def carries
+	// the full CREATE INDEX statement text, replayed through the SQL
+	// layer at recovery (same pattern as KindCreateView). Row maintenance
+	// is never logged: replayed inserts/deletes rebuild index contents
+	// through the relation's maintenance hooks.
+	KindCreateIndex Kind = 9
+	// KindDropIndex: DDL — a secondary index was dropped.
+	KindDropIndex Kind = 10
 
 	// Snapshot-only kinds.
 
@@ -90,6 +98,10 @@ const (
 	// records between header and footer. A snapshot without a matching
 	// footer (crash mid-write) is ignored by recovery.
 	KindSnapFooter Kind = 36
+	// KindSnapIndex is one index definition (Name, Def), replayed like
+	// KindSnapView after the tables are restored so the backfill sees
+	// every row.
+	KindSnapIndex Kind = 37
 )
 
 // String names the kind.
@@ -111,6 +123,10 @@ func (k Kind) String() string {
 		return "drop-view"
 	case KindSweep:
 		return "sweep"
+	case KindCreateIndex:
+		return "create-index"
+	case KindDropIndex:
+		return "drop-index"
 	case KindSnapHeader:
 		return "snap-header"
 	case KindSnapTable:
@@ -121,6 +137,8 @@ func (k Kind) String() string {
 		return "snap-view"
 	case KindSnapFooter:
 		return "snap-footer"
+	case KindSnapIndex:
+		return "snap-index"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -175,9 +193,9 @@ func appendRecord(dst []byte, rec *Record) []byte {
 	case KindCreateTable, KindSnapTable:
 		dst = appendString(dst, rec.Name)
 		dst = appendSchema(dst, rec.Schema)
-	case KindDropTable, KindDropView:
+	case KindDropTable, KindDropView, KindDropIndex:
 		dst = appendString(dst, rec.Name)
-	case KindCreateView, KindSnapView:
+	case KindCreateView, KindSnapView, KindCreateIndex, KindSnapIndex:
 		dst = appendString(dst, rec.Name)
 		dst = appendString(dst, rec.Def)
 	case KindSnapHeader:
@@ -240,9 +258,9 @@ func decodePayload(p []byte) (Record, error) {
 	case KindCreateTable, KindSnapTable:
 		rec.Name = d.str()
 		rec.Schema = d.schema()
-	case KindDropTable, KindDropView:
+	case KindDropTable, KindDropView, KindDropIndex:
 		rec.Name = d.str()
-	case KindCreateView, KindSnapView:
+	case KindCreateView, KindSnapView, KindCreateIndex, KindSnapIndex:
 		rec.Name = d.str()
 		rec.Def = d.str()
 	case KindSnapHeader:

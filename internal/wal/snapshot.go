@@ -19,6 +19,7 @@ type Snapshot struct {
 	LastSweep xtime.Time
 	Tables    []SnapshotTable
 	Views     []SnapshotView
+	Indexes   []SnapshotIndex
 }
 
 // SnapshotTable is one table image.
@@ -41,10 +42,19 @@ type SnapshotView struct {
 	Def  string
 }
 
+// SnapshotIndex is one secondary-index definition, kept as the full
+// CREATE INDEX statement text. Restored after the tables, so the
+// attach-time backfill indexes every snapshot row; index contents are
+// never persisted.
+type SnapshotIndex struct {
+	Name string
+	Def  string
+}
+
 // Records counts the body records (everything between header and
 // footer) — the value the footer carries.
 func (s *Snapshot) Records() uint64 {
-	n := uint64(len(s.Views))
+	n := uint64(len(s.Views)) + uint64(len(s.Indexes))
 	for _, t := range s.Tables {
 		n += 1 + uint64(len(t.Rows))
 	}
@@ -76,6 +86,10 @@ func WriteSnapshotFS(fsys vfs.FS, path string, snap *Snapshot) error {
 	}
 	for _, v := range snap.Views {
 		rec = Record{Kind: KindSnapView, Name: v.Name, Def: v.Def}
+		buf = appendRecord(buf, &rec)
+	}
+	for _, ix := range snap.Indexes {
+		rec = Record{Kind: KindSnapIndex, Name: ix.Name, Def: ix.Def}
 		buf = appendRecord(buf, &rec)
 	}
 	rec = Record{Kind: KindSnapFooter, Count: snap.Records()}
@@ -166,6 +180,12 @@ func ReadSnapshotFS(fsys vfs.FS, path string) (*Snapshot, error) {
 				return nil, fmt.Errorf("%w: snapshot view before header", ErrCorrupt)
 			}
 			snap.Views = append(snap.Views, SnapshotView{Name: rec.Name, Def: rec.Def})
+			body++
+		case KindSnapIndex:
+			if !open {
+				return nil, fmt.Errorf("%w: snapshot index before header", ErrCorrupt)
+			}
+			snap.Indexes = append(snap.Indexes, SnapshotIndex{Name: rec.Name, Def: rec.Def})
 			body++
 		case KindSnapFooter:
 			if !open {
